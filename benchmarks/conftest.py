@@ -1,0 +1,22 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one paper artifact (table or figure) and saves
+its text rendering under ``benchmarks/results/`` so the output survives
+pytest's capture regardless of ``-s``. Set ``REPRO_FULL=1`` to run the
+paper-scale configurations (slow); the default quick configurations
+preserve the comparisons' shape at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Persist a regenerated artifact and echo it for -s runs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

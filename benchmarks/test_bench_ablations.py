@@ -1,0 +1,151 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each bench reports the median cost (samples, or seconds where noted) to a
+fixed target under one knob's variants, and asserts the qualitative
+relationship the paper describes.
+"""
+
+import numpy as np
+
+from repro.experiments import ablations, default_config
+from repro.experiments.ablations import AblationConfig, format_ablation
+
+from benchmarks.conftest import save_artifact
+
+
+def _config():
+    return default_config(AblationConfig)
+
+
+def test_randomplus_ablation(benchmark):
+    """§III-F: random+ within chunks beats uniform; random+ beats random."""
+    result = benchmark.pedantic(
+        ablations.randomplus_ablation, args=(_config(),), rounds=1, iterations=1
+    )
+    save_artifact(
+        "ablation_randomplus",
+        format_ablation("random+ ablation (median samples to target)", result),
+    )
+    rplus = result["exsample/randomplus"]
+    uniform = result["exsample/uniform"]
+    assert rplus is not None and uniform is not None
+    assert rplus <= uniform * 1.25
+    if result["random"] is not None and result["random+"] is not None:
+        assert result["random+"] <= result["random"] * 1.1
+
+
+def test_policy_ablation(benchmark):
+    """§III-C: Thompson ~ Bayes-UCB; both far better than uniform."""
+    result = benchmark.pedantic(
+        ablations.policy_ablation, args=(_config(),), rounds=1, iterations=1
+    )
+    save_artifact(
+        "ablation_policy",
+        format_ablation("policy ablation (median samples to target)", result),
+    )
+    thompson = result["thompson"]
+    assert thompson is not None
+    if result["uniform"] is not None:
+        assert thompson < result["uniform"] * 0.6
+    if result["bayes_ucb"] is not None:
+        assert thompson <= result["bayes_ucb"] * 2.5
+
+
+def test_prior_ablation(benchmark):
+    """§III-C: no strong dependence on (alpha0, beta0) within sane ranges."""
+    result = benchmark.pedantic(
+        ablations.prior_ablation, args=(_config(),), rounds=1, iterations=1
+    )
+    save_artifact(
+        "ablation_prior",
+        format_ablation("prior ablation (median samples to target)", result),
+    )
+    values = [v for v in result.values() if v is not None]
+    assert len(values) >= 4
+    assert max(values) / min(values) < 5.0
+
+
+def test_batch_ablation(benchmark):
+    """§III-F: batching trades a little sample-efficiency for throughput."""
+    result = benchmark.pedantic(
+        ablations.batch_ablation, args=(_config(),), rounds=1, iterations=1
+    )
+    save_artifact(
+        "ablation_batch",
+        format_ablation("batch-size ablation (median samples to target)", result),
+    )
+    single = result["batch=1"]
+    big = result["batch=64"]
+    assert single is not None and big is not None
+    assert big <= single * 3.0  # degradation is bounded
+
+
+def test_chunk_count_ablation(benchmark):
+    """§IV-C on dataset intervals: mid-range M wins, extremes lag."""
+    result = benchmark.pedantic(
+        ablations.chunk_count_ablation, args=(_config(),), rounds=1, iterations=1
+    )
+    save_artifact(
+        "ablation_chunks",
+        format_ablation("chunk-count ablation (median samples to target)", result),
+    )
+    values = {k: v for k, v in result.items() if v is not None}
+    assert len(values) >= 3
+    best_m = min(values, key=values.get)
+    assert best_m not in ("M=1",), "single chunk should not be optimal"
+
+
+def test_sequential_variance_ablation(benchmark):
+    """§II-B: sequential execution's time-to-results is both slower and far
+    more variable than random sampling's."""
+    result = benchmark.pedantic(
+        ablations.sequential_variance_ablation, args=(_config(),),
+        rounds=1, iterations=1,
+    )
+    rows = {
+        f"{name}/{stat}": value
+        for name, stats in result.items()
+        for stat, value in stats.items()
+    }
+    save_artifact(
+        "ablation_sequential_variance",
+        format_ablation("sequential variance (samples to target)", rows),
+    )
+    seq = result["sequential"]
+    rnd = result["random"]
+    assert seq["median"] is not None and rnd["median"] is not None
+    assert seq["median"] > rnd["median"] * 2
+    assert seq["iqr"] > rnd["iqr"] * 2
+
+
+def test_fusion_crossover_ablation(benchmark):
+    """§VII: fusion beats plain ExSample once the detector is expensive
+    enough for its sample savings to outweigh the incremental scans."""
+    result = benchmark.pedantic(
+        ablations.fusion_crossover_ablation, args=(_config(),),
+        rounds=1, iterations=1,
+    )
+    save_artifact(
+        "ablation_fusion",
+        format_ablation("fusion crossover (seconds to 0.9 recall)", result),
+    )
+    slow_plain = result.get("exsample@2fps")
+    slow_fusion = result.get("exsample_fusion@2fps")
+    assert slow_plain is not None and slow_fusion is not None
+    assert slow_fusion < slow_plain * 1.1  # fusion wins (or ties) at 2 fps
+
+
+def test_proxy_quality_ablation(benchmark):
+    """§V-B: even a near-perfect proxy loses to sampling on limit queries."""
+    result = benchmark.pedantic(
+        ablations.proxy_quality_ablation, args=(_config(),), rounds=1, iterations=1
+    )
+    save_artifact(
+        "ablation_proxy_quality",
+        format_ablation("proxy-quality ablation (seconds to 0.5 recall)", result),
+    )
+    ex = result["exsample"]
+    assert ex is not None
+    proxies = [v for k, v in result.items() if k.startswith("proxy") and v is not None]
+    assert proxies
+    assert all(p > ex for p in proxies)

@@ -1,0 +1,29 @@
+"""Figure 2 bench: Gamma belief vs true R(n+1) (§III-D).
+
+Paper claim: the belief distribution Gamma(N1 + .1, n + 1) is wider than the
+truth early on, fits it well at mid-range n, and its alpha0 prior keeps
+Thompson sampling alive when N1 = 0. The regenerated table reports, per
+(n, N1) cell, the true vs belief mean/std and the belief's 95% coverage.
+"""
+
+from repro.experiments import default_config, fig2
+
+from benchmarks.conftest import save_artifact
+
+
+def test_bench_fig2(benchmark):
+    config = default_config(fig2.Fig2Config)
+    result = benchmark.pedantic(fig2.run, args=(config,), rounds=1, iterations=1)
+    text = fig2.format_result(result)
+    save_artifact("fig2", text)
+
+    # Shape assertions mirroring §III-D.
+    assert result.cells, "no populated (n, N1) cells harvested"
+    early = [c for c in result.cells if c.n <= 100]
+    for cell in early:
+        # Early cells: belief std exceeds the true spread (conservative).
+        assert cell.belief_std >= cell.true_std * 0.8
+    mid = [c for c in result.cells if 500 <= c.n and c.true_mean > 0]
+    for cell in mid:
+        assert cell.belief_mean / cell.true_mean < 3.0
+    assert 0.6 <= result.variance_coverage <= 1.0

@@ -1,0 +1,52 @@
+"""Figure 3 bench: the skew x duration savings grid (§IV-B).
+
+Paper claim: savings over random grow with placement skew and instance
+duration — 1x with no skew up to ~84x in the most favourable cell — and
+ExSample is never significantly worse than random.
+"""
+
+import numpy as np
+
+from repro.experiments import default_config, fig3
+
+from benchmarks.conftest import save_artifact
+
+
+def test_bench_fig3(benchmark):
+    config = default_config(fig3.Fig3Config)
+    result = benchmark.pedantic(fig3.run, args=(config,), rounds=1, iterations=1)
+    text = fig3.format_result(result)
+    save_artifact("fig3", text)
+
+    cells = {(c.skew, c.duration): c for c in result.cells}
+
+    # No-skew column: ExSample ~ random (within noise) at every duration.
+    for duration in config.durations:
+        cell = cells[(None, duration)]
+        ratios = [r for r in cell.savings.values() if r is not None]
+        if ratios:
+            assert min(ratios) > 0.4, f"no-skew cell dur={duration} collapsed"
+
+    # Heaviest-skew column must show clear wins at the largest reachable
+    # target for the longer-duration rows.
+    heavy = [cells[(1 / 256, d)] for d in config.durations if d >= 700]
+    best = max(
+        (r for cell in heavy for r in cell.savings.values() if r is not None),
+        default=None,
+    )
+    assert best is not None and best > 3.0
+
+    # Monotone tendency: heavier skew should not reduce the best savings.
+    def best_ratio(skew):
+        vals = [
+            r
+            for d in config.durations
+            for r in [cells[(skew, d)].savings.get(max(config.targets))]
+            if r is not None
+        ]
+        return max(vals) if vals else None
+
+    light = best_ratio(1 / 4)
+    heavy_best = best_ratio(1 / 256)
+    if light is not None and heavy_best is not None:
+        assert heavy_best >= light * 0.8

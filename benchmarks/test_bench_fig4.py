@@ -1,0 +1,38 @@
+"""Figure 4 bench: chunk-count sweep on a fixed skewed workload (§IV-C).
+
+Paper claims: (1) chunked ExSample beats random for every M tried across
+three orders of magnitude; (2) for small/medium M ExSample matches the
+optimal static allocation closely; (3) very large M (1024) opens a gap to
+its optimum because surveying 1024 chunks eats the budget — benefits are
+non-monotonic.
+"""
+
+from repro.experiments import default_config, fig4
+
+from benchmarks.conftest import save_artifact
+
+
+def test_bench_fig4(benchmark):
+    config = default_config(fig4.Fig4Config)
+    result = benchmark.pedantic(fig4.run, args=(config,), rounds=1, iterations=1)
+    save_artifact("fig4", fig4.format_result(result))
+
+    by_chunks = {c.num_chunks: c for c in result.curves}
+    random_final = float(result.random_median[-1])
+
+    # (1) every chunked configuration with M in the useful range beats random.
+    for m, curve in by_chunks.items():
+        if 2 <= m <= 1024:
+            assert curve.final_found() >= random_final * 0.95, f"M={m} lost to random"
+
+    # (2) mid-range M tracks its optimal allocation.
+    mid = [c for c in result.curves if 8 <= c.num_chunks <= 256]
+    for curve in mid:
+        assert curve.final_found() >= 0.75 * curve.optimal_final()
+
+    # (3) the largest M shows the survey overhead: a wider optimum gap than
+    # the mid-range configurations (checked as a relative statement).
+    if 1024 in by_chunks and mid:
+        gap_1024 = by_chunks[1024].optimal_final() - by_chunks[1024].final_found()
+        gap_mid = min(c.optimal_final() - c.final_found() for c in mid)
+        assert gap_1024 >= gap_mid - 1e-9

@@ -1,0 +1,28 @@
+"""Figure 5 bench: per-query savings over random at recall .1/.5/.9 (§V-C).
+
+Paper claims: geometric mean ≈1.9x across all bars, max ≈6x, worst ≈0.75x.
+The miniature reproduction checks geo-mean > 1.2x, a clear multi-x best
+case, and a bounded worst case.
+"""
+
+from repro.experiments import default_config, fig5
+
+from benchmarks.conftest import save_artifact
+
+
+def test_bench_fig5(benchmark):
+    config = default_config(fig5.Fig5Config)
+    result = benchmark.pedantic(fig5.run, args=(config,), rounds=1, iterations=1)
+    save_artifact("fig5", fig5.format_result(result))
+
+    all_ratios = [
+        ratio
+        for recall in config.recalls
+        for ratio in result.ratios_at(recall)
+    ]
+    assert len(all_ratios) >= 10, "too few reachable query/recall pairs"
+
+    geo = result.geo_mean_all()
+    assert geo > 1.2, f"geo-mean savings {geo:.2f}x below the paper's regime"
+    assert max(all_ratios) > 2.5, "no clearly-winning query found"
+    assert min(all_ratios) > 0.25, "a query collapsed far below random"

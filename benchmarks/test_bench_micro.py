@@ -1,0 +1,112 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These use pytest-benchmark's statistics properly (many rounds) — they time
+the *implementation*, unlike the artifact benches which run experiment
+harnesses once. Useful for catching performance regressions in the sampler
+inner loop, frame orders, the detector simulation and the Eq. IV.1 solver.
+"""
+
+import numpy as np
+
+from repro.core.config import ExSampleConfig
+from repro.core.frame_order import RandomPlusOrder, UniformOrder
+from repro.core.sampler import ExSampleSearcher
+from repro.detection.simulated import SimulatedDetector
+from repro.theory.instances import InstancePopulation, even_chunk_bounds
+from repro.theory.optimal_weights import optimal_weights
+from repro.theory.temporal_sim import TemporalEnvironment
+from repro.tracking.discriminator import TrackDiscriminator
+from repro.utils.rng import RngFactory, spawn_rng
+from repro.video.datasets import make_dataset
+
+
+def test_exsample_step_throughput(benchmark):
+    """Cost of one full pick-observe-update iteration over 128 chunks."""
+    population = InstancePopulation.place(
+        1000, 2_000_000, 700, spawn_rng(0, "mb"), skew_fraction=1 / 32
+    )
+    env = TemporalEnvironment.with_even_chunks(population, 128)
+    searcher = ExSampleSearcher(env, ExSampleConfig(seed=0), rng=RngFactory(0))
+
+    def step():
+        picks = searcher.pick_batch()
+        observations = [env.observe(c, f) for c, f in picks]
+        searcher.update(picks, observations)
+
+    benchmark(step)
+
+
+def test_randomplus_order_throughput(benchmark):
+    """Frames/second drawn from a 1M-frame random+ order."""
+    order_holder = {}
+
+    def draw_batch():
+        if "order" not in order_holder or order_holder["order"].remaining < 1000:
+            order_holder["order"] = RandomPlusOrder(
+                1_000_000, spawn_rng(0, "mb2")
+            )
+        order = order_holder["order"]
+        for _ in range(1000):
+            order.next()
+
+    benchmark(draw_batch)
+
+
+def test_uniform_order_throughput(benchmark):
+    holder = {}
+
+    def draw_batch():
+        if "order" not in holder or holder["order"].remaining < 1000:
+            holder["order"] = UniformOrder(1_000_000, spawn_rng(0, "mb3"))
+        for _ in range(1000):
+            holder["order"].next()
+
+    benchmark(draw_batch)
+
+
+def test_detector_throughput(benchmark):
+    """Simulated detections/second on a mid-size dataset."""
+    dataset = make_dataset("dashcam", scale=0.05, seed=0)
+    detector = SimulatedDetector(dataset.world, seed=0)
+    frames = iter(range(0, dataset.repository.videos[0].num_frames))
+    state = {"frame": 0}
+
+    def detect_one():
+        state["frame"] = (state["frame"] + 37) % dataset.repository.videos[
+            0
+        ].num_frames
+        detector.detect(0, state["frame"])
+
+    benchmark(detect_one)
+
+
+def test_discriminator_matching_throughput(benchmark):
+    """Matching cost with a populated track store (hundreds of tracks)."""
+    dataset = make_dataset("dashcam", scale=0.05, seed=0)
+    detector = SimulatedDetector(dataset.world, seed=0)
+    discriminator = TrackDiscriminator(dataset.world, seed=0)
+    # Warm the store with detections from a frame sweep.
+    for frame in range(0, 20_000, 61):
+        dets = detector.detect(0, frame, class_filter="person")
+        discriminator.observe(0, frame, dets)
+    state = {"frame": 1}
+
+    def match_one():
+        state["frame"] = (state["frame"] + 97) % 20_000
+        dets = detector.detect(0, state["frame"], class_filter="person")
+        discriminator.get_matches(0, state["frame"], dets)
+
+    benchmark(match_one)
+
+
+def test_optimal_weights_solver(benchmark):
+    """Eq. IV.1 solve time at Figure-3 scale (2000 x 128)."""
+    population = InstancePopulation.place(
+        2000, 2_000_000, 700, spawn_rng(1, "mb4"), skew_fraction=1 / 32
+    )
+    p_matrix = population.chunk_probabilities(
+        even_chunk_bounds(2_000_000, 128)
+    )
+    benchmark.pedantic(
+        optimal_weights, args=(p_matrix, 5000.0), rounds=3, iterations=1
+    )

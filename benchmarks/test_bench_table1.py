@@ -1,0 +1,35 @@
+"""Table I bench: proxy scan time vs ExSample time-to-recall (§V-B).
+
+Paper claim: "Across all queries and datasets, it is cheaper to reach 90%
+of instances using ExSample sampling than it is to scan and score frames
+prior to sampling, and much easier to reach 10% and 50% of instances."
+"""
+
+from repro.experiments import default_config, table1
+
+from benchmarks.conftest import save_artifact
+
+
+def test_bench_table1(benchmark):
+    config = default_config(table1.Table1Config)
+    result = benchmark.pedantic(table1.run, args=(config,), rounds=1, iterations=1)
+    save_artifact("table1", table1.format_result(result))
+
+    assert result.rows, "no rows produced"
+
+    # The headline relation, allowing a tiny number of violations at the
+    # miniature scale (the paper reports zero at full scale).
+    violations = result.violations(0.9)
+    assert violations <= max(len(result.rows) // 10, 1), (
+        f"{violations}/{len(result.rows)} rows failed to beat the scan"
+    )
+
+    # 10% recall must be reached orders of magnitude before the scan.
+    fast_rows = [
+        row for row in result.rows if row.time_to.get(0.1) is not None
+    ]
+    assert fast_rows
+    quick_wins = [
+        row for row in fast_rows if row.time_to[0.1] < row.scan_seconds / 5
+    ]
+    assert len(quick_wins) >= len(fast_rows) * 0.8

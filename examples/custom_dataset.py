@@ -1,0 +1,113 @@
+"""Bring your own repository: building a custom dataset from scratch.
+
+The six built-in datasets mirror the paper's evaluation, but the public API
+lets you model any deployment: define the videos, describe where each object
+class lives (counts, durations, placement skew), pick a chunking policy, and
+query it. This example models a two-camera parking facility — one entrance
+camera (bursty deliveries) and one rooftop camera (steady traffic) — and
+shows ExSample discovering the entrance bursts on its own.
+
+Run:  python examples/custom_dataset.py
+"""
+
+import numpy as np
+
+from repro.query import DistinctObjectQuery, QueryEngine
+from repro.theory import SkewSummary
+from repro.video import (
+    ClassSpec,
+    Dataset,
+    FixedDurationChunker,
+    Video,
+    VideoRepository,
+    build_world,
+)
+
+
+def build_parking_dataset(seed: int = 0) -> Dataset:
+    fps = 15.0
+    hour = int(3600 * fps)
+    repository = VideoRepository(
+        [
+            Video("entrance", num_frames=hour, fps=fps, width=1280, height=720),
+            Video("rooftop", num_frames=hour, fps=fps, width=1280, height=720),
+        ]
+    )
+    world = build_world(
+        repository,
+        [
+            # Delivery vans cluster around two delivery windows.
+            ClassSpec(
+                "delivery van",
+                count=40,
+                mean_duration_s=45.0,
+                skew=("hotspots", 2, 0.06),
+                size_range=(120, 320),
+            ),
+            # Cars flow steadily all day.
+            ClassSpec(
+                "car",
+                count=400,
+                mean_duration_s=20.0,
+                skew=("uniform",),
+                size_range=(80, 240),
+            ),
+            # Pedestrians peak around shift change (one broad bump).
+            ClassSpec(
+                "person",
+                count=150,
+                mean_duration_s=12.0,
+                skew=("normal", 0.4),
+                size_range=(40, 120),
+            ),
+        ],
+        seed=seed,
+    )
+    chunk_map = FixedDurationChunker(minutes=5.0).chunk(repository)
+    return Dataset(
+        name="parking",
+        repository=repository,
+        world=world,
+        chunk_map=chunk_map,
+        camera="static",
+    )
+
+
+def main() -> None:
+    dataset = build_parking_dataset(seed=4)
+    print(
+        f"custom dataset: {dataset.total_frames} frames across "
+        f"{dataset.repository.num_videos} cameras, "
+        f"{dataset.chunk_map.num_chunks} five-minute chunks"
+    )
+    for class_name in dataset.classes:
+        summary = SkewSummary.from_counts(dataset.skew_counts(class_name))
+        print(f"  {class_name:13s} N={summary.total_instances:4d} S={summary.skew:5.1f}")
+
+    engine = QueryEngine(dataset, seed=4)
+    query = DistinctObjectQuery("delivery van", limit=20)
+    exsample = engine.run(query, method="exsample")
+    random = engine.run(query, method="random")
+    print(
+        f"\nfind 20 delivery vans: exsample {exsample.trace.num_samples} frames, "
+        f"random {random.trace.num_samples} frames "
+        f"({random.trace.num_samples / max(exsample.trace.num_samples, 1):.1f}x)"
+    )
+
+    allocation = np.bincount(
+        exsample.trace.chunks, minlength=dataset.chunk_map.num_chunks
+    )
+    hot = np.argsort(allocation)[::-1][:3]
+    print("ExSample's three hottest chunks (it found the delivery windows):")
+    for chunk in hot:
+        c = dataset.chunk_map.chunks[chunk]
+        video = dataset.repository.videos[c.video].name
+        minute = c.start / dataset.repository.videos[c.video].fps / 60
+        print(
+            f"  chunk {chunk:2d} ({video}, minute {minute:4.0f}): "
+            f"{allocation[chunk]} samples"
+        )
+
+
+if __name__ == "__main__":
+    main()

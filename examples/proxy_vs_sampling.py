@@ -1,0 +1,64 @@
+"""When does a proxy model pay off? The Table I comparison, interactively.
+
+Proxy-based systems (BlazeIt) score every frame with a cheap model before
+processing any frame with the detector. This example reproduces the paper's
+§V-B point on one query: by the time the proxy scan finishes, ExSample —
+which starts producing results immediately — has already found most
+instances. It also sweeps the proxy's quality to show that even a *perfect*
+ranker cannot recover the scan cost on limit queries.
+
+Run:  python examples/proxy_vs_sampling.py
+"""
+
+from repro import DistinctObjectQuery, QueryEngine, make_dataset
+from repro.query import time_to_recall
+from repro.utils.tables import ascii_table, format_duration
+
+
+def main() -> None:
+    dataset = make_dataset("night_street", scale=0.05, seed=11)
+    engine = QueryEngine(dataset, seed=11)
+    class_name = "person"
+    scan_seconds = engine.cost_model.scan_cost(dataset.total_frames)
+    print(
+        f"dataset: {dataset.total_frames} frames; a proxy scan alone costs "
+        f"{format_duration(scan_seconds)} at 100 fps"
+    )
+
+    query = DistinctObjectQuery(
+        class_name, recall_target=0.9, frame_budget=dataset.total_frames
+    )
+    rows = []
+    ex = engine.run(query, method="exsample")
+    for recall in (0.1, 0.5, 0.9):
+        t = time_to_recall(ex.trace, ex.gt_count, recall)
+        rows.append(
+            ("exsample", f"{recall:.0%}", format_duration(t) if t else "-")
+        )
+    for quality in (0.7, 0.9, 0.99):
+        px = engine.run(query, method="proxy", proxy_quality=quality)
+        for recall in (0.1, 0.5, 0.9):
+            t = time_to_recall(px.trace, px.gt_count, recall)
+            rows.append(
+                (
+                    f"proxy (AUC {quality})",
+                    f"{recall:.0%}",
+                    format_duration(t) if t else "-",
+                )
+            )
+    print(
+        ascii_table(
+            ["method", "recall", "time (incl. any scan)"],
+            rows,
+            title="time to recall — sampling starts instantly, proxies pay the scan first",
+        )
+    )
+    print(
+        "\nEvery proxy row is bounded below by the scan time "
+        f"({format_duration(scan_seconds)}); ExSample reaches 90% recall "
+        "before any proxy returns its first result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This repository is configured through ``pyproject.toml``; this file exists
+only so that ``pip install -e . --no-build-isolation --no-use-pep517`` works
+on offline machines that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — a full reproduction of *ExSample: Efficient Searches on Video
+Repositories through Adaptive Sampling* (Moll et al., ICDE 2022).
+
+The library has four layers:
+
+* :mod:`repro.core` — ExSample itself: the N1/n estimator, Gamma beliefs,
+  Thompson sampling, random+ frame orders, and the Algorithm 1 loop.
+* substrates — :mod:`repro.video` (repositories, chunking, synthetic ground
+  truth, the six evaluation datasets), :mod:`repro.detection` (simulated
+  object detector and proxy scorer), :mod:`repro.tracking` (IoU tracker and
+  the distinct-object discriminator).
+* :mod:`repro.baselines` — random, random+, sequential, BlazeIt-style proxy
+  ordering, and the Eq. IV.1 oracle.
+* :mod:`repro.query` / :mod:`repro.experiments` — the user-facing engine and
+  the harnesses regenerating every table and figure in the paper.
+
+Quickstart::
+
+    from repro import DistinctObjectQuery, QueryEngine, make_dataset
+
+    dataset = make_dataset("dashcam", scale=0.05, seed=0)
+    engine = QueryEngine(dataset, seed=0)
+    outcome = engine.run(DistinctObjectQuery("traffic light", limit=20))
+    print(outcome.num_results, "distinct objects in",
+          outcome.trace.num_samples, "frames")
+"""
+
+from repro.core import ExSampleConfig, ExSampleSearcher, SearchTrace
+from repro.query import (
+    CostModel,
+    DistinctObjectQuery,
+    QueryEngine,
+    QueryOutcome,
+    savings_ratio,
+)
+from repro.video import make_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "DistinctObjectQuery",
+    "ExSampleConfig",
+    "ExSampleSearcher",
+    "QueryEngine",
+    "QueryOutcome",
+    "SearchTrace",
+    "__version__",
+    "make_dataset",
+    "savings_ratio",
+]

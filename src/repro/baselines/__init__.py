@@ -1,0 +1,15 @@
+"""Comparison methods from §II-B: random, random+, sequential, proxy, oracle."""
+
+from repro.baselines.oracle_search import OracleStaticSearcher
+from repro.baselines.proxy_search import ProxySearcher
+from repro.baselines.random_search import RandomSearcher
+from repro.baselines.randomplus_search import RandomPlusSearcher
+from repro.baselines.sequential_search import SequentialSearcher
+
+__all__ = [
+    "OracleStaticSearcher",
+    "ProxySearcher",
+    "RandomPlusSearcher",
+    "RandomSearcher",
+    "SequentialSearcher",
+]

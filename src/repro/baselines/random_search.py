@@ -1,0 +1,54 @@
+"""Uniform random sampling without replacement (§II-B).
+
+"A better strategy is to iteratively process frames uniformly sampled from
+the video repository (without replacement)." This is the paper's primary
+baseline: every comparison in Figures 3-5 is ExSample vs this method.
+
+Uniformity over the *remaining* frames of the whole repository is achieved
+by picking a chunk with probability proportional to its remaining frame
+count, then drawing the chunk's next uniform-without-replacement frame.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.environment import SearchEnvironment
+from repro.core.frame_order import UniformOrder
+from repro.core.sampler import Searcher
+from repro.utils.rng import RngFactory
+
+
+class RandomSearcher(Searcher):
+    """Global uniform sampling without replacement."""
+
+    name = "random"
+
+    def __init__(
+        self,
+        env: SearchEnvironment,
+        rng: RngFactory | int | None = 0,
+        batch_size: int = 1,
+    ):
+        super().__init__(env, rng)
+        self.batch_size = max(int(batch_size), 1)
+        self._chunk_rng = self.rngs.stream("chunk-choice")
+        self._orders = [
+            UniformOrder(int(size), self.rngs.stream("order", j))
+            for j, size in enumerate(self.sizes)
+        ]
+
+    def pick_batch(self) -> List[Tuple[int, int]]:
+        picks: List[Tuple[int, int]] = []
+        remaining = np.array([o.remaining for o in self._orders], dtype=float)
+        for _ in range(self.batch_size):
+            total = remaining.sum()
+            if total <= 0:
+                break
+            probs = remaining / total
+            chunk = int(self._chunk_rng.choice(remaining.size, p=probs))
+            picks.append((chunk, self._orders[chunk].next()))
+            remaining[chunk] -= 1
+        return picks

@@ -1,0 +1,52 @@
+"""random+: temporally stratified random sampling over the repository (§III-F).
+
+The paper introduces random+ both as a better stand-alone baseline and as
+the within-chunk order ExSample uses. Stand-alone, random+ stratifies over
+the *whole* repository: one random frame out of every hour, then one out of
+every not-yet-sampled half hour, and so on — so early samples are spread out
+instead of clumping, which matters exactly when results cluster temporally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.environment import SearchEnvironment
+from repro.core.frame_order import RandomPlusOrder
+from repro.core.sampler import Searcher
+from repro.utils.rng import RngFactory
+
+
+class RandomPlusSearcher(Searcher):
+    """Global random+ sampling (stratified without replacement)."""
+
+    name = "randomplus"
+
+    def __init__(
+        self,
+        env: SearchEnvironment,
+        rng: RngFactory | int | None = 0,
+        batch_size: int = 1,
+        initial_strata: int = 1,
+    ):
+        super().__init__(env, rng)
+        self.batch_size = max(int(batch_size), 1)
+        total = int(self.sizes.sum())
+        self._order = RandomPlusOrder(
+            total, self.rngs.stream("global-order"), initial_strata=initial_strata
+        )
+        self._bounds = np.concatenate([[0], np.cumsum(self.sizes)])
+
+    def pick_batch(self) -> List[Tuple[int, int]]:
+        picks: List[Tuple[int, int]] = []
+        for _ in range(self.batch_size):
+            if self._order.remaining <= 0:
+                break
+            global_frame = self._order.next()
+            chunk = int(
+                np.searchsorted(self._bounds, global_frame, side="right") - 1
+            )
+            picks.append((chunk, int(global_frame - self._bounds[chunk])))
+        return picks

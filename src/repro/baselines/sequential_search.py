@@ -1,0 +1,69 @@
+"""Naive sequential execution with optional frame-rate reduction (§II-B).
+
+"A straightforward method is to process frames sequentially ... A natural
+extension is to sample only one out of every n frames." The paper notes its
+two failure modes: high variance (long empty stretches) and a sampling rate
+that cannot be right for all object durations at once. Implemented for
+completeness and for the intro-motivating comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.environment import SearchEnvironment
+from repro.core.sampler import Searcher
+from repro.errors import ConfigError
+from repro.utils.rng import RngFactory
+
+
+class SequentialSearcher(Searcher):
+    """Scan frames in order, visiting every ``stride``-th frame first.
+
+    With ``stride > 1`` the scan makes multiple passes: pass k visits frames
+    congruent to k-1 modulo the stride, so the searcher eventually covers
+    everything (sampling without replacement, like the other methods).
+    """
+
+    name = "sequential"
+
+    def __init__(
+        self,
+        env: SearchEnvironment,
+        rng: RngFactory | int | None = 0,
+        stride: int = 30,
+        batch_size: int = 1,
+    ):
+        super().__init__(env, rng)
+        if stride < 1:
+            raise ConfigError("stride must be >= 1")
+        self.stride = stride
+        self.batch_size = max(int(batch_size), 1)
+        self._bounds = np.concatenate([[0], np.cumsum(self.sizes)])
+        self._total = int(self.sizes.sum())
+        self._pass = 0
+        self._cursor = 0
+
+    def _next_global(self) -> int | None:
+        while self._pass < self.stride:
+            frame = self._cursor * self.stride + self._pass
+            if frame < self._total:
+                self._cursor += 1
+                return frame
+            self._pass += 1
+            self._cursor = 0
+        return None
+
+    def pick_batch(self) -> List[Tuple[int, int]]:
+        picks: List[Tuple[int, int]] = []
+        for _ in range(self.batch_size):
+            global_frame = self._next_global()
+            if global_frame is None:
+                break
+            chunk = int(
+                np.searchsorted(self._bounds, global_frame, side="right") - 1
+            )
+            picks.append((chunk, int(global_frame - self._bounds[chunk])))
+        return picks

@@ -1,0 +1,236 @@
+"""Command-line interface: run queries, experiments and ablations.
+
+Examples::
+
+    python -m repro list-datasets
+    python -m repro query --dataset dashcam --object "traffic light" \
+        --limit 20 --method exsample --scale 0.05
+    python -m repro compare --dataset night_street --object person \
+        --recall 0.5 --scale 0.04
+    python -m repro experiment fig3
+    python -m repro experiment table1 --full
+    python -m repro ablation policy
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.experiments import ablations as ablations_mod
+from repro.experiments import fig2, fig3, fig4, fig5, fig6, table1
+from repro.experiments.runner import default_config
+from repro.query.cost import CostModel
+from repro.query.engine import SEARCH_METHODS, QueryEngine
+from repro.query.metrics import time_to_recall
+from repro.query.query import DistinctObjectQuery
+from repro.utils.tables import ascii_table, format_duration
+from repro.video.datasets import DATASET_BUILDERS, make_dataset
+
+_EXPERIMENTS = {
+    "fig2": (fig2.Fig2Config, fig2.run, fig2.format_result),
+    "fig3": (fig3.Fig3Config, fig3.run, fig3.format_result),
+    "fig4": (fig4.Fig4Config, fig4.run, fig4.format_result),
+    "fig5": (fig5.Fig5Config, fig5.run, fig5.format_result),
+    "fig6": (fig6.Fig6Config, fig6.run, fig6.format_result),
+    "table1": (table1.Table1Config, table1.run, table1.format_result),
+}
+
+_ABLATIONS = {
+    "randomplus": ablations_mod.randomplus_ablation,
+    "policy": ablations_mod.policy_ablation,
+    "prior": ablations_mod.prior_ablation,
+    "batch": ablations_mod.batch_ablation,
+    "chunks": ablations_mod.chunk_count_ablation,
+    "proxy-quality": ablations_mod.proxy_quality_ablation,
+    "fusion": ablations_mod.fusion_crossover_ablation,
+    "sequential-variance": ablations_mod.sequential_variance_ablation,
+    "batch-time": ablations_mod.batch_time_ablation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ExSample reproduction: queries, experiments, ablations.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-datasets", help="list the six evaluation datasets")
+
+    query = sub.add_parser("query", help="run one distinct-object query")
+    query.add_argument("--dataset", required=True, choices=sorted(DATASET_BUILDERS))
+    query.add_argument("--object", required=True, dest="object_class",
+                       help="object class to search for")
+    query.add_argument("--method", default="exsample", choices=SEARCH_METHODS)
+    query.add_argument("--limit", type=int, default=None)
+    query.add_argument("--recall", type=float, default=None)
+    query.add_argument("--scale", type=float, default=0.05)
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--detector-fps", type=float, default=20.0)
+
+    compare = sub.add_parser(
+        "compare", help="run every method on one query and compare times"
+    )
+    compare.add_argument("--dataset", required=True, choices=sorted(DATASET_BUILDERS))
+    compare.add_argument("--object", required=True, dest="object_class")
+    compare.add_argument("--recall", type=float, default=0.5)
+    compare.add_argument("--scale", type=float, default=0.05)
+    compare.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table or figure"
+    )
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS) + ["all"])
+    experiment.add_argument(
+        "--full", action="store_true",
+        help="paper-scale configuration (slow); default is the quick config",
+    )
+
+    ablation = sub.add_parser("ablation", help="run one design-choice ablation")
+    ablation.add_argument("name", choices=sorted(_ABLATIONS))
+
+    return parser
+
+
+def _cmd_list_datasets(out) -> int:
+    rows = []
+    for name in sorted(DATASET_BUILDERS):
+        dataset = make_dataset(name, scale=0.02, seed=0)
+        rows.append(
+            (
+                name,
+                dataset.camera,
+                dataset.chunk_map.num_chunks,
+                ", ".join(dataset.classes[:5])
+                + (", ..." if len(dataset.classes) > 5 else ""),
+            )
+        )
+    print(
+        ascii_table(
+            ["dataset", "camera", "chunks@2%", "classes"],
+            rows,
+            title="evaluation datasets (synthetic; see DESIGN.md)",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    dataset = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    engine = QueryEngine(
+        dataset,
+        cost_model=CostModel(detector_fps=args.detector_fps),
+        seed=args.seed,
+    )
+    if args.limit is None and args.recall is None:
+        args.limit = 10
+    query = DistinctObjectQuery(
+        args.object_class,
+        limit=args.limit,
+        recall_target=args.recall,
+        frame_budget=dataset.total_frames,
+    )
+    outcome = engine.run(query, method=args.method)
+    print(
+        f"{outcome.num_results} distinct results in "
+        f"{outcome.trace.num_samples} detector frames "
+        f"({format_duration(outcome.trace.total_cost)} modelled GPU time)",
+        file=out,
+    )
+    for found in outcome.found[:10]:
+        print(
+            f"  video {found.video:4d} frame {found.frame:7d} "
+            f"score {found.score:.2f}",
+            file=out,
+        )
+    if outcome.num_results > 10:
+        print(f"  ... and {outcome.num_results - 10} more", file=out)
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    dataset = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    engine = QueryEngine(dataset, seed=args.seed)
+    query = DistinctObjectQuery(
+        args.object_class,
+        recall_target=args.recall,
+        frame_budget=dataset.total_frames,
+    )
+    rows = []
+    for method in SEARCH_METHODS:
+        outcome = engine.run(query, method=method)
+        seconds = time_to_recall(outcome.trace, outcome.gt_count, args.recall)
+        rows.append(
+            (
+                method,
+                outcome.trace.num_samples,
+                "-" if seconds is None else format_duration(seconds),
+            )
+        )
+    print(
+        ascii_table(
+            ["method", "detector frames", f"time to {args.recall:.0%} recall"],
+            rows,
+            title=f"{args.dataset} / {args.object_class}",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    if args.name == "all":
+        from repro.experiments.report import generate_report, render_report
+
+        print(render_report(generate_report(full=args.full)), file=out)
+        return 0
+    config_cls, run, format_result = _EXPERIMENTS[args.name]
+    config = config_cls.paper() if args.full else config_cls.quick()
+    result = run(config)
+    print(format_result(result), file=out)
+    return 0
+
+
+def _cmd_ablation(args, out) -> int:
+    fn = _ABLATIONS[args.name]
+    config = default_config(ablations_mod.AblationConfig)
+    result = fn(config)
+    # Some ablations return nested per-variant statistics; flatten for the
+    # common tabular renderer.
+    flat = {}
+    for key, value in result.items():
+        if isinstance(value, dict):
+            for stat, stat_value in value.items():
+                flat[f"{key}/{stat}"] = stat_value
+        else:
+            flat[key] = value
+    print(
+        ablations_mod.format_ablation(f"{args.name} ablation", flat),
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point. Returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list-datasets":
+        return _cmd_list_datasets(out)
+    if args.command == "query":
+        return _cmd_query(args, out)
+    if args.command == "compare":
+        return _cmd_compare(args, out)
+    if args.command == "experiment":
+        return _cmd_experiment(args, out)
+    if args.command == "ablation":
+        return _cmd_ablation(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

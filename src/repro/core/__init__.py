@@ -1,0 +1,78 @@
+"""ExSample's core: estimator, beliefs, policies, frame orders, sampler.
+
+This package is the paper's primary contribution (§III). Everything else in
+the library — the video/detector/tracker substrates, the baselines, the
+query engine — exists to feed or compare against the classes exported here.
+"""
+
+from repro.core.belief import (
+    BayesUCBPolicy,
+    ChunkPolicy,
+    GammaBelief,
+    GreedyMeanPolicy,
+    ThompsonPolicy,
+    UniformPolicy,
+    beliefs_from_counts,
+    make_policy,
+)
+from repro.core.chunk_state import ChunkStatistics
+from repro.core.config import PAPER_ALPHA0, PAPER_BETA0, ExSampleConfig
+from repro.core.environment import CallbackEnvironment, Observation, SearchEnvironment
+from repro.core.estimator import (
+    SeenCounter,
+    bias_bound_maxp,
+    bias_bound_moments,
+    expected_bias,
+    expected_n1,
+    expected_r,
+    pi_seen_at,
+    point_estimate,
+    poisson_lambda,
+    variance_bound,
+)
+from repro.core.frame_order import (
+    FrameOrder,
+    RandomPlusOrder,
+    ScoreWeightedOrder,
+    SequentialOrder,
+    UniformOrder,
+    make_order,
+)
+from repro.core.sampler import ExSampleSearcher, Searcher, SearchTrace
+
+__all__ = [
+    "BayesUCBPolicy",
+    "CallbackEnvironment",
+    "ChunkPolicy",
+    "ChunkStatistics",
+    "ExSampleConfig",
+    "ExSampleSearcher",
+    "FrameOrder",
+    "GammaBelief",
+    "GreedyMeanPolicy",
+    "Observation",
+    "PAPER_ALPHA0",
+    "PAPER_BETA0",
+    "RandomPlusOrder",
+    "ScoreWeightedOrder",
+    "SearchEnvironment",
+    "SearchTrace",
+    "Searcher",
+    "SeenCounter",
+    "SequentialOrder",
+    "ThompsonPolicy",
+    "UniformOrder",
+    "UniformPolicy",
+    "beliefs_from_counts",
+    "bias_bound_maxp",
+    "bias_bound_moments",
+    "expected_bias",
+    "expected_n1",
+    "expected_r",
+    "make_order",
+    "make_policy",
+    "pi_seen_at",
+    "point_estimate",
+    "poisson_lambda",
+    "variance_bound",
+]

@@ -1,0 +1,129 @@
+"""Per-chunk sampling statistics: the (N1_j, n_j) state of Algorithm 1.
+
+The state update on lines 11-12 of Algorithm 1 is
+
+    N1[j*] += len(d0) - len(d1)
+    n[j*]  += 1
+
+Both updates are additive, which is what makes the batched variant of §III-F
+correct: updates from a batch of frames commute, so they can be applied in
+any order (or summed and applied at once). :meth:`ChunkStatistics.apply_batch`
+exploits exactly that property and tests assert the equivalence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class ChunkStatistics:
+    """Vectorised (N1, n, frames_remaining) bookkeeping over M chunks."""
+
+    def __init__(self, chunk_sizes: "list[int] | np.ndarray"):
+        sizes = np.asarray(chunk_sizes, dtype=np.int64)
+        if sizes.ndim != 1 or sizes.size == 0:
+            raise ConfigError("chunk_sizes must be a non-empty 1-D sequence")
+        if np.any(sizes < 0):
+            raise ConfigError("chunk sizes must be non-negative")
+        self.sizes = sizes
+        self.num_chunks = int(sizes.size)
+        self.n1 = np.zeros(self.num_chunks, dtype=float)
+        self.n = np.zeros(self.num_chunks, dtype=np.int64)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def total_samples(self) -> int:
+        """Total frames sampled so far across all chunks (the global n)."""
+        return int(self.n.sum())
+
+    @property
+    def remaining(self) -> np.ndarray:
+        """Frames still unsampled per chunk."""
+        return self.sizes - self.n
+
+    @property
+    def active(self) -> np.ndarray:
+        """Mask of chunks with at least one unsampled frame."""
+        return self.remaining > 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every frame of every chunk has been sampled."""
+        return bool(np.all(self.remaining <= 0))
+
+    def point_estimates(self) -> np.ndarray:
+        """R̂_j = N1_j / n_j per chunk (0 where n_j = 0)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            est = np.where(self.n > 0, self.n1 / np.maximum(self.n, 1), 0.0)
+        return est
+
+    def empirical_weights(self) -> np.ndarray:
+        """n_j / n: the de-facto sample allocation of §IV-A."""
+        total = self.total_samples
+        if total == 0:
+            return np.full(self.num_chunks, 1.0 / self.num_chunks)
+        return self.n / total
+
+    # -- updates ---------------------------------------------------------
+
+    def record(self, chunk: int, d0: int, d1: int) -> None:
+        """Apply the Algorithm 1 lines 11-12 update for one processed frame."""
+        self._check_chunk(chunk)
+        if d0 < 0 or d1 < 0:
+            raise ConfigError("d0/d1 counts must be non-negative")
+        if self.remaining[chunk] <= 0:
+            raise ConfigError(f"chunk {chunk} is exhausted; cannot record a sample")
+        self.n1[chunk] += d0 - d1
+        self.n[chunk] += 1
+
+    def apply_batch(self, chunks: np.ndarray, d0s: np.ndarray, d1s: np.ndarray) -> None:
+        """Apply many updates at once (batched sampling, §III-F).
+
+        All updates are additive, hence commutative; this is equivalent to
+        calling :meth:`record` once per element in any order.
+        """
+        chunks = np.asarray(chunks, dtype=np.int64)
+        d0s = np.asarray(d0s, dtype=float)
+        d1s = np.asarray(d1s, dtype=float)
+        if not (chunks.shape == d0s.shape == d1s.shape):
+            raise ConfigError("batch arrays must share a shape")
+        np.add.at(self.n1, chunks, d0s - d1s)
+        np.add.at(self.n, chunks, 1)
+        if np.any(self.n > self.sizes):
+            raise ConfigError("batch update sampled more frames than a chunk holds")
+
+    def apply_credit_batch(
+        self,
+        chunks: np.ndarray,
+        d0s: np.ndarray,
+        origin_lists: "list[list[int]]",
+    ) -> None:
+        """Origin-credited update (the footnote-1 / tech-report variant).
+
+        Each processed frame increments ``n`` and adds its ``d0`` to the
+        *sampled* chunk's N1, but every d1 decrement lands on the chunk
+        where the matched object was first discovered. When origins always
+        point at the chunk of first discovery, every per-chunk N1 stays
+        non-negative (the +1 always precedes its -1 on the same counter).
+        """
+        chunks = np.asarray(chunks, dtype=np.int64)
+        d0s = np.asarray(d0s, dtype=float)
+        if chunks.shape != d0s.shape or len(origin_lists) != chunks.size:
+            raise ConfigError("credit batch arrays must align")
+        np.add.at(self.n1, chunks, d0s)
+        np.add.at(self.n, chunks, 1)
+        for origins in origin_lists:
+            for origin in origins:
+                self._check_chunk(int(origin))
+                self.n1[int(origin)] -= 1.0
+        if np.any(self.n > self.sizes):
+            raise ConfigError("batch update sampled more frames than a chunk holds")
+
+    def _check_chunk(self, chunk: int) -> None:
+        if not 0 <= chunk < self.num_chunks:
+            raise ConfigError(
+                f"chunk index {chunk} out of range [0, {self.num_chunks})"
+            )

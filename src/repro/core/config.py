@@ -1,0 +1,99 @@
+"""Configuration for the ExSample sampler (Algorithm 1 and §III-F)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Prior pseudo-counts used by the paper (§III-C): "We used alpha0 = .1 and
+#: beta0 = 1 in practice, though we did not observe a strong dependence on
+#: this value choice."
+PAPER_ALPHA0 = 0.1
+PAPER_BETA0 = 1.0
+
+_VALID_POLICIES = ("thompson", "bayes_ucb", "greedy", "uniform")
+_VALID_ORDERS = ("randomplus", "uniform", "sequential")
+_VALID_CROSS_CHUNK = ("local", "origin")
+
+
+@dataclass(frozen=True)
+class ExSampleConfig:
+    """Tunable knobs of the ExSample sampling loop.
+
+    Attributes
+    ----------
+    alpha0, beta0:
+        Prior pseudo-counts added to ``N1_j`` and ``n_j`` when forming the
+        belief distribution Gamma(N1_j + alpha0, n_j + beta0) of Eq. III.4.
+        Both must be positive: the Gamma distribution is undefined at 0 and
+        the positive prior is what lets chunks with ``N1 = 0`` keep being
+        explored (§III-C).
+    policy:
+        Chunk-selection policy. ``"thompson"`` (the paper's choice),
+        ``"bayes_ucb"`` (the alternative the paper also tried, §III-C),
+        ``"greedy"`` (raw point estimate — the strawman §III-B warns gets
+        stuck), or ``"uniform"`` (ignores beliefs; turns ExSample into
+        stratified random sampling, useful for ablations).
+    batch_size:
+        Number of frames selected per iteration (§III-F batched sampling).
+        1 reproduces Algorithm 1 exactly; larger values draw ``batch_size``
+        Thompson samples per chunk and apply commutative batched updates.
+    within_chunk_order:
+        How frames are drawn inside a chosen chunk: ``"randomplus"`` (the
+        paper's stratified random+, §III-F), ``"uniform"`` (plain uniform
+        without replacement) or ``"sequential"``.
+    ucb_horizon:
+        Bayes-UCB quantile schedule parameter: at step t the policy uses the
+        1 - 1/(t * ucb_horizon) quantile of each chunk's Gamma belief.
+    cross_chunk:
+        How a ``d1`` match of an object discovered in *another* chunk is
+        accounted (the paper's footnote 1). ``"local"`` is Algorithm 1
+        verbatim: the ``-1`` hits the currently sampled chunk, whose raw N1
+        may go negative (the belief clamps it). ``"origin"`` charges the
+        ``-1`` to the chunk that originally received the object's ``+1``
+        (the tech-report adjustment), keeping every per-chunk N1 >= 0;
+        requires the environment to report ``d1_origin_chunks``.
+    """
+
+    alpha0: float = PAPER_ALPHA0
+    beta0: float = PAPER_BETA0
+    policy: str = "thompson"
+    batch_size: int = 1
+    within_chunk_order: str = "randomplus"
+    ucb_horizon: float = 1.0
+    cross_chunk: str = "local"
+    seed: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.alpha0 <= 0 or self.beta0 <= 0:
+            raise ConfigError(
+                "alpha0 and beta0 must be positive "
+                f"(got alpha0={self.alpha0}, beta0={self.beta0}); the Gamma "
+                "belief of Eq. III.4 is undefined at zero"
+            )
+        if self.policy not in _VALID_POLICIES:
+            raise ConfigError(
+                f"unknown policy {self.policy!r}; expected one of {_VALID_POLICIES}"
+            )
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.within_chunk_order not in _VALID_ORDERS:
+            raise ConfigError(
+                f"unknown within_chunk_order {self.within_chunk_order!r}; "
+                f"expected one of {_VALID_ORDERS}"
+            )
+        if self.ucb_horizon <= 0:
+            raise ConfigError("ucb_horizon must be positive")
+        if self.cross_chunk not in _VALID_CROSS_CHUNK:
+            raise ConfigError(
+                f"unknown cross_chunk mode {self.cross_chunk!r}; "
+                f"expected one of {_VALID_CROSS_CHUNK}"
+            )
+
+    def replace(self, **changes: object) -> "ExSampleConfig":
+        """Return a copy with ``changes`` applied (dataclasses.replace sugar)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,90 @@
+"""The environment abstraction binding samplers to substrates.
+
+ExSample's loop (Algorithm 1) needs only two things from the world:
+
+1. how the repository is partitioned into chunks (``chunk_sizes``), and
+2. what happens when a frame is processed (``observe``): which detections
+   were new (*d0*), which matched an object previously seen exactly once
+   (*d1*), what results were produced and what it cost.
+
+Both the *real* pipeline (video repository + simulated detector + tracker
+discriminator, :mod:`repro.query.engine`) and the *theory* simulators of
+§III-D/§IV (:mod:`repro.theory`) implement this protocol, so the very same
+sampler code runs in both worlds — mirroring how the paper's analysis and
+system share one algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+
+@dataclass
+class Observation:
+    """Outcome of processing one sampled frame.
+
+    Attributes
+    ----------
+    d0:
+        Number of detections that matched no previous object — these are the
+        new distinct results (Algorithm 1's ``d0``).
+    d1:
+        Number of detections whose matched object had been seen exactly once
+        before this frame (Algorithm 1's ``d1``).
+    results:
+        Opaque result payloads for the ``d0`` new objects (instance ids in
+        simulation; detection records in the video pipeline).
+    cost:
+        Cost of processing this frame in seconds (decode + detect).
+    d1_origin_chunks:
+        For each ``d1`` match, the chunk where the matched object was
+        *first discovered* — or None when the environment cannot tell.
+        Feeds the ``cross_chunk="origin"`` accounting mode (the paper's
+        footnote 1 / tech-report adjustment): the ``-1`` to N1 is charged
+        to the chunk whose N1 the object originally incremented, keeping
+        every per-chunk N1 non-negative.
+    """
+
+    d0: int
+    d1: int
+    results: List[object] = field(default_factory=list)
+    cost: float = 0.0
+    d1_origin_chunks: "List[int] | None" = None
+
+
+@runtime_checkable
+class SearchEnvironment(Protocol):
+    """What a sampler needs to know about the world."""
+
+    def chunk_sizes(self) -> np.ndarray:
+        """Number of sampleable frames per chunk (length M, Algorithm 1)."""
+        ...
+
+    def observe(self, chunk: int, frame: int) -> Observation:
+        """Decode + detect + discriminate frame ``frame`` of chunk ``chunk``.
+
+        ``frame`` is an index *within* the chunk, in ``[0, chunk_size)``.
+        """
+        ...
+
+
+class CallbackEnvironment:
+    """Adapter turning plain callables into a :class:`SearchEnvironment`.
+
+    Convenient for tests and small simulations::
+
+        env = CallbackEnvironment([100, 100], lambda c, f: Observation(0, 0))
+    """
+
+    def __init__(self, sizes: Sequence[int], observe_fn) -> None:
+        self._sizes = np.asarray(sizes, dtype=np.int64)
+        self._observe_fn = observe_fn
+
+    def chunk_sizes(self) -> np.ndarray:
+        return self._sizes
+
+    def observe(self, chunk: int, frame: int) -> Observation:
+        return self._observe_fn(chunk, frame)

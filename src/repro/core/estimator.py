@@ -1,0 +1,154 @@
+"""The future-reward estimator R̂(n+1) = N1(n)/n and its error bounds.
+
+This module implements §III-A of the paper. The central quantity is
+
+    R(n+1) = sum_i p_i * [i not in seen(n)]
+
+the expected number of *new* distinct objects in the (n+1)-th sampled frame,
+where ``p_i`` is the probability that instance ``i`` appears in a uniformly
+sampled frame. ExSample never observes the ``p_i``; it estimates R directly:
+
+    R̂(n+1) = N1(n) / n                                        (Eq. III.1)
+
+where ``N1(n)`` counts distinct objects seen *exactly once* in the first
+``n`` samples. (Readers may recognise this as the Good–Turing estimator of
+the missing mass.)
+
+Alongside the estimator itself, this module exposes the *theoretical*
+quantities used in the paper's analysis — ``pi_exact_once``, expected N1,
+expected R — and the bias/variance bounds of the two theorems in §III-A and
+§III-B, so tests and the Figure 2 validation can check the implementation
+against theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def point_estimate(n1: float, n: float) -> float:
+    """R̂(n+1) = N1/n (Eq. III.1); defined as 0 before any samples."""
+    if n <= 0:
+        return 0.0
+    return n1 / n
+
+
+def pi_seen_at(p: np.ndarray, n: int) -> np.ndarray:
+    """π_i(n+1) = p_i (1 - p_i)^n: chance instance i is first seen at sample n+1.
+
+    Note the indexing convention from the proof of Eq. III.2: the event that
+    instance ``i`` is seen on the (n+1)-th sample after being missed on the
+    first ``n`` occurs with probability ``p (1-p)^n``; the paper writes this
+    as π_i(n+1), so ``pi_seen_at(p, n)`` returns π(n+1).
+    """
+    p = np.asarray(p, dtype=float)
+    return p * np.power(1.0 - p, n)
+
+
+def expected_r(p: np.ndarray, n: int) -> float:
+    """E[R(n+1)] = Σ_i π_i(n+1) over a population with frame-probabilities p."""
+    return float(np.sum(pi_seen_at(p, n)))
+
+
+def expected_n1(p: np.ndarray, n: int) -> float:
+    """E[N1(n)] = n Σ_i π_i(n) (each instance seen exactly once w.p. nπ_i(n))."""
+    if n <= 0:
+        return 0.0
+    return float(n * np.sum(pi_seen_at(p, n - 1)))
+
+
+def expected_bias(p: np.ndarray, n: int) -> float:
+    """E[R̂ - R] = Σ_i p_i π_i(n): the exact (positive) bias of the estimator.
+
+    Derived in the proof of the bias theorem: E[N1/n - R(n+1)] =
+    Σ π(n) - π(n+1) = Σ p π(n).
+    """
+    p = np.asarray(p, dtype=float)
+    return float(np.sum(p * pi_seen_at(p, n - 1)))
+
+
+def bias_bound_maxp(p: np.ndarray) -> float:
+    """Upper bound of Eq. III.2: relative bias ≤ max p_i."""
+    return float(np.max(np.asarray(p, dtype=float)))
+
+
+def bias_bound_moments(p: np.ndarray) -> float:
+    """Second upper bound of Eq. III.2: relative bias ≤ sqrt(N) (μ_p + σ_p)."""
+    p = np.asarray(p, dtype=float)
+    n_instances = p.size
+    return float(np.sqrt(n_instances) * (np.mean(p) + np.std(p)))
+
+
+def variance_bound(p: np.ndarray, n: int) -> float:
+    """Eq. III.3: Var[R̂(n+1)] ≤ E[R̂(n+1)] / n.
+
+    Under the independence assumption E[R̂] = E[N1]/n, so the bound equals
+    E[N1(n)] / n^2.
+    """
+    if n <= 0:
+        return float("inf")
+    return expected_n1(p, n) / (n * n)
+
+
+def poisson_lambda(p: np.ndarray, n: int) -> float:
+    """λ = Σ π_i(n) of the Poisson sampling distribution of N1(n) (§III-B).
+
+    The paper shows N1(n) is approximately Poisson with this parameter when
+    the p_i are small or n is large.
+    """
+    if n <= 0:
+        return 0.0
+    return float(n * np.sum(pi_seen_at(np.asarray(p, dtype=float), n - 1)))
+
+
+@dataclass
+class SeenCounter:
+    """Streaming bookkeeping of N1 from observed result identities.
+
+    The sampler does not get to see instance identities directly — the
+    discriminator reports only ``d0`` (unmatched detections = new objects)
+    and ``d1`` (detections whose object had been seen exactly once before) —
+    but tests and the theory simulators *do* know identities. This counter
+    converts a stream of "instance i appeared in this frame" events into the
+    (N1, n, distinct) statistics, mirroring line 11 of Algorithm 1.
+    """
+
+    n: int = 0
+    n1: int = 0
+    distinct: int = 0
+
+    def __post_init__(self) -> None:
+        self._times_seen: dict[int, int] = {}
+
+    def observe_frame(self, instance_ids: "np.ndarray | list[int]") -> tuple[int, int]:
+        """Record one sampled frame containing ``instance_ids``.
+
+        Returns ``(len(d0), len(d1))``: the number of never-before-seen
+        instances, and the number of instances that had been seen exactly
+        once before this frame. Duplicate ids within one frame are treated
+        as a single sighting (a frame shows an object once).
+        """
+        d0 = 0
+        d1 = 0
+        for instance in set(int(i) for i in instance_ids):
+            seen = self._times_seen.get(instance, 0)
+            if seen == 0:
+                d0 += 1
+                self.distinct += 1
+            elif seen == 1:
+                d1 += 1
+            self._times_seen[instance] = seen + 1
+        self.n += 1
+        self.n1 += d0 - d1
+        return d0, d1
+
+    @property
+    def estimate(self) -> float:
+        """Current R̂(n+1) = N1/n."""
+        return point_estimate(self.n1, self.n)
+
+    def times_seen(self, instance: int) -> int:
+        """How many sampled frames have shown ``instance``."""
+        return self._times_seen.get(int(instance), 0)

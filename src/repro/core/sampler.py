@@ -1,0 +1,409 @@
+"""The ExSample search loop (Algorithm 1) and the shared searcher machinery.
+
+:class:`Searcher` is the common scaffold every sampling method in this
+library uses: it owns the run loop (pick frames, observe them, update state,
+record a trace, stop when a limit is hit) while subclasses decide *which*
+frame to look at next. :class:`ExSampleSearcher` is the paper's method; the
+baselines in :mod:`repro.baselines` subclass the same scaffold, so every
+method produces an identical :class:`SearchTrace` and all comparisons are
+apples-to-apples.
+
+A :class:`SearchTrace` records, per processed frame, the chunk, the frame
+id, the d0/d1 counts and the cost. From this everything the evaluation needs
+is derived exactly: discovery curves (distinct results vs frames processed),
+samples-to-k-results, and cost-to-recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.belief import make_policy
+from repro.core.chunk_state import ChunkStatistics
+from repro.core.config import ExSampleConfig
+from repro.core.environment import Observation, SearchEnvironment
+from repro.core.frame_order import FrameOrder, make_order
+from repro.errors import ConfigError, ExhaustedError
+from repro.utils.rng import RngFactory
+
+
+@dataclass
+class SearchTrace:
+    """Immutable record of one search run.
+
+    Attributes
+    ----------
+    chunks, frames:
+        Per processed frame: which chunk it came from and its within-chunk
+        frame index.
+    d0s, d1s:
+        Per frame: new-object count and seen-exactly-once-match count.
+    costs:
+        Per frame processing cost in seconds.
+    results:
+        Flat list of result payloads, in discovery order.
+    upfront_cost:
+        Cost paid before the first frame could be chosen (the proxy scan of
+        §II-B for BlazeIt-style searchers; zero for sampling methods).
+    """
+
+    chunks: np.ndarray
+    frames: np.ndarray
+    d0s: np.ndarray
+    d1s: np.ndarray
+    costs: np.ndarray
+    results: List[object] = field(default_factory=list)
+    upfront_cost: float = 0.0
+    searcher: str = ""
+
+    @property
+    def num_samples(self) -> int:
+        """Total frames processed by the expensive detector."""
+        return int(self.chunks.size)
+
+    @property
+    def num_results(self) -> int:
+        """Total distinct results discovered."""
+        return int(self.d0s.sum())
+
+    @property
+    def total_cost(self) -> float:
+        """End-to-end cost in seconds, including any upfront scan."""
+        return float(self.upfront_cost + self.costs.sum())
+
+    def discovery_curve(self) -> np.ndarray:
+        """Cumulative distinct results after each processed frame."""
+        return np.cumsum(self.d0s)
+
+    def cost_curve(self) -> np.ndarray:
+        """Cumulative cost (seconds) after each processed frame."""
+        return self.upfront_cost + np.cumsum(self.costs)
+
+    def samples_to_results(self, k: int) -> Optional[int]:
+        """Frames processed until ``k`` distinct results were found.
+
+        Returns ``None`` if the run ended before reaching ``k`` results.
+        """
+        if k <= 0:
+            return 0
+        curve = self.discovery_curve()
+        hits = np.flatnonzero(curve >= k)
+        if hits.size == 0:
+            return None
+        return int(hits[0]) + 1
+
+    def cost_to_results(self, k: int) -> Optional[float]:
+        """Seconds of processing until ``k`` distinct results were found."""
+        if k <= 0:
+            return self.upfront_cost
+        idx = self.samples_to_results(k)
+        if idx is None:
+            return None
+        return float(self.upfront_cost + self.costs[:idx].sum())
+
+    def results_at_samples(self, grid: Sequence[int]) -> np.ndarray:
+        """Distinct results found by each sample count in ``grid``.
+
+        Points beyond the end of the run saturate at the final count, which
+        is the right semantics for discovery curves (nothing is lost once
+        found).
+        """
+        curve = self.discovery_curve()
+        grid_arr = np.asarray(grid, dtype=np.int64)
+        out = np.zeros(grid_arr.shape, dtype=float)
+        for i, g in enumerate(grid_arr):
+            if g <= 0 or curve.size == 0:
+                out[i] = 0.0
+            else:
+                out[i] = curve[min(g, curve.size) - 1]
+        return out
+
+
+class _TraceBuilder:
+    """Accumulates per-frame records and freezes them into a SearchTrace."""
+
+    def __init__(self, searcher: str, upfront_cost: float = 0.0):
+        self._chunks: List[int] = []
+        self._frames: List[int] = []
+        self._d0s: List[int] = []
+        self._d1s: List[int] = []
+        self._costs: List[float] = []
+        self._results: List[object] = []
+        self._searcher = searcher
+        self._upfront = upfront_cost
+        self._real_uids: set[int] = set()
+
+    def record(self, chunk: int, frame: int, obs: Observation) -> None:
+        self._chunks.append(chunk)
+        self._frames.append(frame)
+        self._d0s.append(obs.d0)
+        self._d1s.append(obs.d1)
+        self._costs.append(obs.cost)
+        self._results.extend(obs.results)
+        for payload in obs.results:
+            uid = _payload_instance_uid(payload)
+            if uid is not None:
+                self._real_uids.add(uid)
+
+    @property
+    def num_unique_real(self) -> int:
+        """Unique ground-truth instances among results (evaluation stops)."""
+        return len(self._real_uids)
+
+    @property
+    def num_results(self) -> int:
+        return len(self._results) if self._results else int(sum(self._d0s))
+
+    @property
+    def num_samples(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def total_cost(self) -> float:
+        return self._upfront + sum(self._costs)
+
+    def build(self) -> SearchTrace:
+        return SearchTrace(
+            chunks=np.asarray(self._chunks, dtype=np.int64),
+            frames=np.asarray(self._frames, dtype=np.int64),
+            d0s=np.asarray(self._d0s, dtype=np.int64),
+            d1s=np.asarray(self._d1s, dtype=np.int64),
+            costs=np.asarray(self._costs, dtype=float),
+            results=list(self._results),
+            upfront_cost=self._upfront,
+            searcher=self._searcher,
+        )
+
+
+def _payload_instance_uid(payload: object) -> Optional[int]:
+    """Backing ground-truth uid of a result payload, if any.
+
+    Theory simulators return instance ids directly (ints); the video
+    pipeline returns records with an ``instance_uid`` attribute where None
+    marks a false-positive track.
+    """
+    if isinstance(payload, (int, np.integer)):
+        return int(payload)
+    uid = getattr(payload, "instance_uid", None)
+    return int(uid) if uid is not None else None
+
+
+class Searcher:
+    """Base class: the run loop shared by ExSample and every baseline."""
+
+    name = "searcher"
+
+    def __init__(self, env: SearchEnvironment, rng: RngFactory | int | None = 0):
+        self.env = env
+        self.rngs = rng if isinstance(rng, RngFactory) else RngFactory(rng or 0)
+        self.sizes = np.asarray(env.chunk_sizes(), dtype=np.int64)
+        if self.sizes.ndim != 1 or self.sizes.size == 0:
+            raise ConfigError("environment must expose a non-empty chunk list")
+
+    # -- subclass interface ------------------------------------------------
+
+    def pick_batch(self) -> List[Tuple[int, int]]:
+        """Return the next (chunk, frame) pairs to process; [] when done."""
+        raise NotImplementedError
+
+    def update(
+        self, picks: List[Tuple[int, int]], observations: List[Observation]
+    ) -> None:
+        """Fold a batch of observations into internal state (default: none)."""
+
+    def upfront_cost(self) -> float:
+        """Cost paid before sampling can begin (e.g. a proxy scan)."""
+        return 0.0
+
+    def consume_extra_cost(self) -> float:
+        """Deferred cost incurred while picking the current batch.
+
+        Subclasses that pay as-they-go (the §VII fusion searcher scores a
+        chunk the first time it is chosen) return the accumulated amount
+        here; the run loop charges it to the batch's first observation so
+        every time-based metric sees it at the moment it was paid.
+        """
+        return 0.0
+
+    # -- run loop ------------------------------------------------------------
+
+    def run(
+        self,
+        result_limit: Optional[int] = None,
+        frame_budget: Optional[int] = None,
+        cost_budget: Optional[float] = None,
+        distinct_real_limit: Optional[int] = None,
+    ) -> SearchTrace:
+        """Execute the search until a limit is reached or frames run out.
+
+        Parameters mirror the paper's stopping regimes: ``result_limit`` is
+        the limit clause of a distinct object query (counting what the
+        discriminator returns, duplicates-from-lost-tracks and all),
+        ``frame_budget`` caps detector invocations, ``cost_budget`` caps
+        seconds of (modelled) processing time including any upfront scan,
+        and ``distinct_real_limit`` — an evaluation-side stop — counts
+        unique ground-truth instances, which is what the paper's recall
+        targets are measured against.
+        """
+        no_limit = (
+            result_limit is None
+            and frame_budget is None
+            and cost_budget is None
+            and distinct_real_limit is None
+        )
+        if no_limit:
+            frame_budget = int(self.sizes.sum())
+        trace = _TraceBuilder(self.name, upfront_cost=self.upfront_cost())
+        while True:
+            if result_limit is not None and trace.num_results >= result_limit:
+                break
+            if (
+                distinct_real_limit is not None
+                and trace.num_unique_real >= distinct_real_limit
+            ):
+                break
+            if frame_budget is not None and trace.num_samples >= frame_budget:
+                break
+            if cost_budget is not None and trace.total_cost >= cost_budget:
+                break
+            picks = self.pick_batch()
+            if not picks:
+                break
+            observations = [self.env.observe(c, f) for c, f in picks]
+            extra_cost = self.consume_extra_cost()
+            if extra_cost:
+                observations[0].cost += extra_cost
+            self.update(picks, observations)
+            for (chunk, frame), obs in zip(picks, observations):
+                trace.record(chunk, frame, obs)
+        return trace.build()
+
+
+class ExSampleSearcher(Searcher):
+    """Algorithm 1, with the batched-sampling extension of §III-F.
+
+    Each iteration: (1) draw one Thompson sample per chunk from the Gamma
+    beliefs of Eq. III.4 and pick the argmax chunk; (2) draw the next frame
+    of that chunk's random+ order; (3) process the frame; (4) apply the
+    additive N1/n update. With ``config.batch_size > 1``, ``B`` Thompson
+    draws are taken per chunk and the (commutative) updates are applied once
+    per batch, exactly as the paper describes.
+    """
+
+    name = "exsample"
+
+    def __init__(
+        self,
+        env: SearchEnvironment,
+        config: ExSampleConfig | None = None,
+        rng: RngFactory | int | None = None,
+    ):
+        config = config or ExSampleConfig()
+        super().__init__(env, rng if rng is not None else RngFactory(config.seed))
+        self.config = config
+        self.stats = ChunkStatistics(self.sizes)
+        self.policy = make_policy(config.policy, config.ucb_horizon)
+        self._policy_rng = self.rngs.stream("policy")
+        # Orders are created lazily on a chunk's first draw. Drawn-frame
+        # counts are tracked separately so the active mask never has to
+        # instantiate an order — subclasses (the §VII fusion searcher) hook
+        # order creation to charge per-chunk scoring costs, which must only
+        # happen for chunks that are actually visited.
+        self._orders: List[Optional[FrameOrder]] = [None] * int(self.sizes.size)
+        self._drawn = np.zeros(self.sizes.size, dtype=np.int64)
+        self._step = 0
+
+    def _make_order(self, chunk: int) -> FrameOrder:
+        """Create the within-chunk frame order for ``chunk`` (overridable)."""
+        return make_order(
+            self.config.within_chunk_order,
+            int(self.sizes[chunk]),
+            self.rngs.stream("order", chunk),
+        )
+
+    def _order_for(self, chunk: int) -> FrameOrder:
+        order = self._orders[chunk]
+        if order is None:
+            order = self._make_order(chunk)
+            self._orders[chunk] = order
+        return order
+
+    # -- introspection -----------------------------------------------------
+
+    def point_estimates(self) -> np.ndarray:
+        """Current per-chunk R̂_j values (Eq. III.1)."""
+        return self.stats.point_estimates()
+
+    def belief_parameters(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current per-chunk Gamma (alpha, beta) of Eq. III.4.
+
+        ``N1_j`` is clamped at zero: an object first found in chunk j but
+        re-seen from chunk k charges the ``-len(d1)`` update to chunk k,
+        which can drive its raw counter negative (the cross-chunk instance
+        problem of the paper's footnote 1). The belief needs a positive
+        shape parameter, and a chunk whose every sighting was a duplicate
+        carries the same evidence as one with N1 = 0.
+        """
+        alphas = np.maximum(self.stats.n1, 0.0) + self.config.alpha0
+        betas = self.stats.n.astype(float) + self.config.beta0
+        return alphas, betas
+
+    # -- searcher interface --------------------------------------------------
+
+    def pick_batch(self) -> List[Tuple[int, int]]:
+        remaining = self.sizes - self._drawn
+        active = remaining > 0
+        if not np.any(active):
+            return []
+        self._step += 1
+        alphas, betas = self.belief_parameters()
+        choices = self.policy.choose(
+            alphas,
+            betas,
+            active,
+            self._policy_rng,
+            step=self._step,
+            batch=self.config.batch_size,
+        )
+        picks: List[Tuple[int, int]] = []
+        for choice in choices:
+            chunk = int(choice)
+            # A batch may over-draw a nearly empty chunk; redirect the draw.
+            if remaining[chunk] <= 0:
+                mask = remaining > 0
+                if not np.any(mask):
+                    break
+                chunk = int(
+                    self.policy.choose(
+                        alphas, betas, mask, self._policy_rng, self._step, batch=1
+                    )[0]
+                )
+            try:
+                frame = self._order_for(chunk).next()
+            except ExhaustedError:  # pragma: no cover - guarded above
+                continue
+            remaining[chunk] -= 1
+            self._drawn[chunk] += 1
+            picks.append((chunk, frame))
+        return picks
+
+    def update(self, picks, observations) -> None:
+        chunks = np.array([c for c, _ in picks], dtype=np.int64)
+        d0s = np.array([o.d0 for o in observations], dtype=float)
+        if self.config.cross_chunk == "origin":
+            # Footnote-1 adjustment: each d1 decrement is charged to the
+            # chunk that first discovered the object. Observations lacking
+            # origin information fall back to charging the sampled chunk.
+            origins = [
+                obs.d1_origin_chunks
+                if obs.d1_origin_chunks is not None
+                else [int(chunk)] * obs.d1
+                for (chunk, _), obs in zip(picks, observations)
+            ]
+            self.stats.apply_credit_batch(chunks, d0s, origins)
+        else:
+            d1s = np.array([o.d1 for o in observations], dtype=float)
+            self.stats.apply_batch(chunks, d0s, d1s)

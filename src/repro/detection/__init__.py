@@ -1,0 +1,19 @@
+"""Object-detection substrate: simulated detector, proxy scorer, records."""
+
+from repro.detection.detections import Detection, filter_class, filter_score
+from repro.detection.proxy import ProxyModel
+from repro.detection.simulated import (
+    PERFECT_PROFILE,
+    DetectorProfile,
+    SimulatedDetector,
+)
+
+__all__ = [
+    "Detection",
+    "DetectorProfile",
+    "PERFECT_PROFILE",
+    "ProxyModel",
+    "SimulatedDetector",
+    "filter_class",
+    "filter_score",
+]

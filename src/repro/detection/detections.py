@@ -1,0 +1,52 @@
+"""Detection records: what an object detector returns for one frame."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.video.geometry import BoundingBox
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detector output box.
+
+    Attributes
+    ----------
+    video, frame:
+        Where the detection was computed.
+    box:
+        Detected bounding box (already jittered by detector noise).
+    class_name:
+        Predicted object category.
+    score:
+        Detector confidence in (0, 1).
+    instance_uid:
+        Hidden ground-truth backing instance, or ``None`` for a false
+        positive. This field exists for *evaluation and simulation only*:
+        the sampling algorithms and the discriminator's matching logic never
+        read it to make decisions (the simulated tracker uses the backing
+        trajectory the way a pixel tracker would use the pixels).
+    """
+
+    video: int
+    frame: int
+    box: BoundingBox
+    class_name: str
+    score: float
+    instance_uid: Optional[int] = None
+
+    @property
+    def is_false_positive(self) -> bool:
+        return self.instance_uid is None
+
+
+def filter_class(detections: List[Detection], class_name: str) -> List[Detection]:
+    """Keep only detections of one class (the query's object type)."""
+    return [d for d in detections if d.class_name == class_name]
+
+
+def filter_score(detections: List[Detection], threshold: float) -> List[Detection]:
+    """Keep detections at or above a confidence threshold."""
+    return [d for d in detections if d.score >= threshold]

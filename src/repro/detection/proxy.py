@@ -1,0 +1,85 @@
+"""The proxy-model substrate: a cheap, noisy per-frame scorer (BlazeIt [10]).
+
+Proxy-based systems train a small CNN per query and score *every* frame of
+the dataset with it, then send frames to the expensive detector in
+descending score order (§II-B). For the limit-query comparison only two
+properties of the proxy matter: (1) how well its score ordering correlates
+with object presence, and (2) that producing the scores requires a full
+scan at ``scan_fps`` (the paper measures 100 fps, io+decode bound).
+
+:class:`ProxyModel` synthesises scores with a controllable quality: frames
+where the target class is present score ``u^(1/k)`` and absent frames score
+``u`` with ``u ~ Uniform(0,1)``, giving an exact ROC-AUC of ``k/(k+1)``.
+``quality=1.0`` is a perfect ranker; ``quality=0.5`` is useless. The default
+0.87 reflects a good specialised proxy on an easy (static camera) dataset;
+moving-camera datasets are harder for proxies (§V-A), which callers model by
+passing a lower quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.rng import spawn_rng
+from repro.video.synthetic import SyntheticWorld
+
+
+class ProxyModel:
+    """Synthetic per-frame scores for one target class."""
+
+    def __init__(
+        self,
+        world: SyntheticWorld,
+        class_name: str,
+        quality: float = 0.87,
+        seed: int = 0,
+    ):
+        if not 0.5 <= quality < 1.0:
+            raise ConfigError(
+                "proxy quality is an ROC-AUC and must lie in [0.5, 1.0); "
+                "use 0.5 for a useless proxy"
+            )
+        self.world = world
+        self.class_name = class_name
+        self.quality = quality
+        self.seed = seed
+        self._scores: np.ndarray | None = None
+
+    @property
+    def separation(self) -> float:
+        """The exponent k with AUC = k / (k + 1)."""
+        return self.quality / (1.0 - self.quality)
+
+    def score_all(self) -> np.ndarray:
+        """Scores for every global frame (cached; the scan cost is charged
+        by the searcher via :class:`~repro.query.CostModel`, not here)."""
+        if self._scores is None:
+            rng = spawn_rng(self.seed, "proxy", self.class_name)
+            total = self.world.repository.total_frames
+            u = rng.uniform(1e-12, 1.0, size=total)
+            present = self.world.presence_mask(self.class_name)
+            scores = u.copy()
+            scores[present] = u[present] ** (1.0 / self.separation)
+            self._scores = scores
+        return self._scores
+
+    def empirical_auc(self, sample: int | None = 200_000) -> float:
+        """Measured ROC-AUC of the synthetic scores (for tests/ablations)."""
+        scores = self.score_all()
+        present = self.world.presence_mask(self.class_name)
+        if sample is not None and scores.size > sample:
+            rng = spawn_rng(self.seed, "auc-sample")
+            idx = rng.choice(scores.size, size=sample, replace=False)
+            scores, present = scores[idx], present[idx]
+        pos = scores[present]
+        neg = scores[~present]
+        if pos.size == 0 or neg.size == 0:
+            raise ConfigError("need both positive and negative frames for AUC")
+        # Rank-based AUC (Mann-Whitney U).
+        order = np.argsort(np.concatenate([pos, neg]))
+        ranks = np.empty(order.size, dtype=float)
+        ranks[order] = np.arange(1, order.size + 1)
+        rank_sum_pos = ranks[: pos.size].sum()
+        u_stat = rank_sum_pos - pos.size * (pos.size + 1) / 2.0
+        return float(u_stat / (pos.size * neg.size))

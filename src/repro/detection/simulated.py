@@ -1,0 +1,173 @@
+"""A black-box object detector simulated over synthetic ground truth.
+
+The paper treats the detector (Faster-RCNN + ResNet-50) as "a black box with
+a costly runtime" (§II-A); only its outputs and its cost matter to the
+sampling problem. :class:`SimulatedDetector` reproduces the *statistical
+behaviour* of such a detector over a :class:`~repro.video.SyntheticWorld`:
+
+* **misses** — each visible instance is detected with probability
+  ``1 - miss_rate``, with small boxes missed more often (the classic
+  small-object failure mode);
+* **localisation noise** — detected boxes are jittered relative to ground
+  truth;
+* **false positives** — spurious boxes appear at a configurable per-frame
+  rate with lower confidence scores;
+* **determinism** — detections are a pure function of (seed, video, frame):
+  detecting the same frame twice yields identical results, exactly like
+  running a deterministic network twice. This matters because ground-truth
+  building scans frames the samplers may later revisit.
+
+Detector *cost* is not modelled here; the :class:`~repro.query.CostModel`
+charges per invocation, which is how the paper accounts runtime (§III:
+"runtime in ExSample is roughly proportional to the number of frames
+processed by the detector").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.detection.detections import Detection
+from repro.errors import ConfigError
+from repro.utils.rng import spawn_rng
+from repro.video.geometry import BoundingBox
+from repro.video.synthetic import SyntheticWorld
+
+
+@dataclass(frozen=True)
+class DetectorProfile:
+    """Noise profile of the simulated detector.
+
+    Attributes
+    ----------
+    miss_rate:
+        Baseline probability of missing a clearly visible object.
+    small_box_penalty:
+        Extra miss probability for boxes much smaller than ``reference_size``
+        (scaled by how far below the reference the box side falls).
+    jitter:
+        Corner jitter as a fraction of box size.
+    false_positives_per_frame:
+        Poisson rate of spurious detections per frame (across all classes).
+    score_tp, score_fp:
+        Beta(a, b) parameters of true-positive / false-positive confidence.
+    """
+
+    miss_rate: float = 0.08
+    small_box_penalty: float = 0.25
+    reference_size: float = 120.0
+    jitter: float = 0.04
+    false_positives_per_frame: float = 0.03
+    score_tp: tuple = (8.0, 2.0)
+    score_fp: tuple = (2.0, 5.0)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.miss_rate < 1:
+            raise ConfigError("miss_rate must lie in [0, 1)")
+        if self.false_positives_per_frame < 0:
+            raise ConfigError("false positive rate must be non-negative")
+        if self.jitter < 0:
+            raise ConfigError("jitter must be non-negative")
+
+
+#: A noiseless detector: detects exactly the ground truth.
+PERFECT_PROFILE = DetectorProfile(
+    miss_rate=0.0,
+    small_box_penalty=0.0,
+    jitter=0.0,
+    false_positives_per_frame=0.0,
+)
+
+
+class SimulatedDetector:
+    """Deterministic noisy detector over a synthetic world."""
+
+    def __init__(
+        self,
+        world: SyntheticWorld,
+        profile: DetectorProfile | None = None,
+        seed: int = 0,
+    ):
+        self.world = world
+        self.profile = profile or DetectorProfile()
+        self.seed = seed
+        self.frames_processed = 0
+        self._class_names = world.class_names() or ["object"]
+
+    def detect(
+        self,
+        video: int,
+        frame: int,
+        class_filter: Optional[str] = None,
+    ) -> List[Detection]:
+        """Run the detector on one frame.
+
+        ``class_filter`` drops detections of other classes *after*
+        generation, so the same (seed, video, frame) always produces the
+        same underlying detections regardless of which query asks.
+        """
+        rng = spawn_rng(self.seed, "detect", video, frame)
+        profile = self.profile
+        detections: List[Detection] = []
+        for instance in self.world.visible(video, frame):
+            gt_box = instance.box_at(frame)
+            if rng.random() < self._miss_probability(gt_box):
+                continue
+            box = gt_box if profile.jitter == 0 else gt_box.jittered(rng, profile.jitter)
+            meta = self.world.repository.videos[video]
+            box = box.clipped(meta.width, meta.height)
+            score = float(rng.beta(*profile.score_tp))
+            detections.append(
+                Detection(
+                    video=video,
+                    frame=frame,
+                    box=box,
+                    class_name=instance.class_name,
+                    score=score,
+                    instance_uid=instance.uid,
+                )
+            )
+        detections.extend(self._false_positives(video, frame, rng))
+        self.frames_processed += 1
+        if class_filter is not None:
+            detections = [d for d in detections if d.class_name == class_filter]
+        return detections
+
+    # -- internals ---------------------------------------------------------
+
+    def _miss_probability(self, box: BoundingBox) -> float:
+        profile = self.profile
+        side = float(np.sqrt(max(box.area, 1.0)))
+        smallness = max(0.0, 1.0 - side / profile.reference_size)
+        return min(profile.miss_rate + profile.small_box_penalty * smallness, 0.95)
+
+    def _false_positives(
+        self, video: int, frame: int, rng: np.random.Generator
+    ) -> List[Detection]:
+        profile = self.profile
+        if profile.false_positives_per_frame <= 0:
+            return []
+        count = int(rng.poisson(profile.false_positives_per_frame))
+        if count == 0:
+            return []
+        meta = self.world.repository.videos[video]
+        out: List[Detection] = []
+        for _ in range(count):
+            w = float(rng.uniform(20, 200))
+            h = w * float(rng.uniform(0.5, 1.5))
+            x1 = float(rng.uniform(0, max(meta.width - w, 1)))
+            y1 = float(rng.uniform(0, max(meta.height - h, 1)))
+            out.append(
+                Detection(
+                    video=video,
+                    frame=frame,
+                    box=BoundingBox(x1, y1, x1 + w, y1 + h),
+                    class_name=str(rng.choice(self._class_names)),
+                    score=float(rng.beta(*profile.score_fp)),
+                    instance_uid=None,
+                )
+            )
+        return out

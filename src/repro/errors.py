@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class ExhaustedError(ReproError):
+    """A sampler was asked for a frame but every frame has been consumed."""
+
+
+class ChunkingError(ReproError):
+    """A chunking policy produced an invalid partition of a repository."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset specification is inconsistent."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or cannot be executed against the repository."""
+
+
+class SolverError(ReproError):
+    """The optimal-weight solver failed to converge to a feasible point."""

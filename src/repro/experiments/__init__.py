@@ -1,0 +1,36 @@
+"""Experiment harnesses regenerating every paper table and figure.
+
+One module per artifact — :mod:`~repro.experiments.fig2` through
+:mod:`~repro.experiments.fig6`, :mod:`~repro.experiments.table1` — plus the
+ablation suite. Each module exposes ``run(config)`` and ``format_result``;
+the config classes have ``quick()`` and ``paper()`` constructors and
+:func:`~repro.experiments.runner.default_config` picks between them based on
+the ``REPRO_FULL`` environment variable.
+"""
+
+from repro.experiments import ablations, fig2, fig3, fig4, fig5, fig6, report, table1
+from repro.experiments.runner import (
+    default_config,
+    is_full_scale,
+    median_discovery,
+    median_samples_to,
+    repeated_traces,
+    sample_grid,
+)
+
+__all__ = [
+    "ablations",
+    "default_config",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "is_full_scale",
+    "median_discovery",
+    "median_samples_to",
+    "repeated_traces",
+    "report",
+    "sample_grid",
+    "table1",
+]

@@ -1,0 +1,115 @@
+"""Figure 2: the Gamma belief vs the true distribution of R(n+1) (§III-D).
+
+Procedure, following the paper: generate ~1000 lognormal ``p_i`` spanning
+several orders of magnitude, simulate sampling runs recording
+``(n, N1, R(n+1))`` tuples, then — at six (n, N1) cells covering early, mid
+and late sampling — compare the histogram of true R(n+1) values against the
+belief density Gamma(N1 + 0.1, n + 1).
+
+The paper's qualitative findings this harness verifies:
+
+* early (small n): the belief is *wider* than the truth (conservative);
+* mid-range: the belief tracks the truth closely;
+* late (N1 near 0): the alpha0 prior keeps Thompson samples nonzero;
+* the Eq. III.3 confidence bound covers the truth ~95% under independence
+  (the paper's 80% figure is for real, dependent data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.theory.coin_sim import RunTuples, simulate_many_runs
+from repro.theory.estimator_validation import (
+    CellReport,
+    bias_profile,
+    cell_report,
+    populated_cells,
+    variance_bound_coverage,
+)
+from repro.theory.instances import lognormal_probabilities
+from repro.utils.rng import RngFactory
+from repro.utils.tables import ascii_table
+
+
+@dataclass(frozen=True)
+class Fig2Config:
+    num_instances: int
+    runs: int
+    max_n: int
+    checkpoints: int
+    seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "Fig2Config":
+        return cls(num_instances=1000, runs=400, max_n=180_000, checkpoints=48)
+
+    @classmethod
+    def paper(cls) -> "Fig2Config":
+        return cls(num_instances=1000, runs=10_000, max_n=180_000, checkpoints=96)
+
+
+@dataclass
+class Fig2Result:
+    cells: List[CellReport]
+    variance_coverage: float
+    bias_rows: List[Tuple[int, float, float]]
+    tuples: RunTuples
+
+
+def run(config: Fig2Config) -> Fig2Result:
+    rngs = RngFactory(config.seed)
+    p = lognormal_probabilities(config.num_instances, rngs.stream("p"))
+    checkpoints = np.unique(
+        np.geomspace(10, config.max_n, num=config.checkpoints).astype(np.int64)
+    )
+    tuples = simulate_many_runs(p, checkpoints, config.runs, rngs.stream("runs"))
+    cells = []
+    for n, n1 in populated_cells(tuples, num_cells=6):
+        report = cell_report(tuples, n, n1)
+        if report is not None:
+            cells.append(report)
+    coverage = variance_bound_coverage(tuples)
+    bias_rows = bias_profile(tuples, checkpoints[:: max(len(checkpoints) // 8, 1)])
+    return Fig2Result(
+        cells=cells,
+        variance_coverage=coverage,
+        bias_rows=bias_rows,
+        tuples=tuples,
+    )
+
+
+def format_result(result: Fig2Result) -> str:
+    rows = [
+        (
+            c.n,
+            c.n1,
+            c.observations,
+            f"{c.true_mean:.3g}",
+            f"{c.belief_mean:.3g}",
+            f"{c.true_std:.2g}",
+            f"{c.belief_std:.2g}",
+            f"{c.belief_coverage_95:.2f}",
+        )
+        for c in result.cells
+    ]
+    table = ascii_table(
+        ["n", "N1", "obs", "true E[R]", "belief E[R]",
+         "true sd", "belief sd", "cover95"],
+        rows,
+        title="Figure 2 — Gamma belief vs true R(n+1) at (n, N1) cells",
+    )
+    bias = ascii_table(
+        ["n", "mean bias E[Rhat - R]", "mean Rhat"],
+        [(n, f"{b:+.3g}", f"{e:.3g}") for n, b, e in result.bias_rows],
+        title="Estimator bias profile (theorem: bias >= 0, small vs Rhat)",
+    )
+    coverage = (
+        f"Eq. III.3 95% bound coverage of true R(n+1): "
+        f"{result.variance_coverage:.1%} (paper: ~95% independent, "
+        f"~80% on dependent real data)"
+    )
+    return "\n\n".join([table, bias, coverage])

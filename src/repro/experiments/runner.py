@@ -1,0 +1,95 @@
+"""Shared experiment machinery: scales, repeated runs, trajectory summaries.
+
+Every experiment module follows one convention: a frozen ``*Config`` with
+``quick()`` and ``paper()`` constructors, a ``run(config) -> *Result``
+function, and a ``format_result`` renderer. Benches call ``run`` with
+:func:`default_config`, which selects the paper-scale configuration when the
+``REPRO_FULL=1`` environment variable is set and the quick configuration
+otherwise. Scaling down changes absolute counts, never the comparison
+structure, so the qualitative shape (who wins, roughly by how much, where
+the crossovers sit) is preserved.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.core.sampler import SearchTrace
+from repro.query.metrics import interpolate_curves_on_grid
+from repro.utils.stats import median_and_band
+
+
+def is_full_scale() -> bool:
+    """True when the user asked for paper-scale runs (REPRO_FULL=1)."""
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+def default_config(config_cls):
+    """Pick quick or paper configuration for an experiment config class."""
+    return config_cls.paper() if is_full_scale() else config_cls.quick()
+
+
+def repeated_traces(
+    make_searcher: Callable[[int], "object"],
+    runs: int,
+    frame_budget: int | None = None,
+    result_limit: int | None = None,
+    distinct_real_limit: int | None = None,
+) -> List[SearchTrace]:
+    """Run a freshly constructed searcher ``runs`` times.
+
+    ``make_searcher(run_index)`` must return a searcher over a *fresh*
+    environment (environments are stateful across a run).
+    """
+    traces = []
+    for run_idx in range(runs):
+        searcher = make_searcher(run_idx)
+        traces.append(
+            searcher.run(
+                frame_budget=frame_budget,
+                result_limit=result_limit,
+                distinct_real_limit=distinct_real_limit,
+            )
+        )
+    return traces
+
+
+def sample_grid(max_samples: int, points: int = 60) -> np.ndarray:
+    """Geometric grid of sample counts, matching the paper's log x-axes."""
+    return np.unique(
+        np.geomspace(1, max(max_samples, 2), num=points).astype(np.int64)
+    )
+
+
+def median_discovery(
+    traces: Sequence[SearchTrace], grid: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Median and 25-75 band of discovery curves across runs (Fig 3 style)."""
+    stacked = interpolate_curves_on_grid(traces, grid)
+    return median_and_band(stacked)
+
+
+def median_samples_to(
+    traces: Sequence[SearchTrace], k: int
+) -> float | None:
+    """Median samples needed to find ``k`` distinct results across runs.
+
+    Runs that never reach ``k`` are treated as needing more samples than
+    any run that did (right-censored); if most runs fail, returns None.
+    """
+    values = []
+    censored = 0
+    for trace in traces:
+        needed = trace.samples_to_results(k)
+        if needed is None:
+            censored += 1
+        else:
+            values.append(needed)
+    if len(values) <= censored:
+        return None
+    values.extend([np.inf] * censored)
+    med = float(np.median(values))
+    return med if np.isfinite(med) else None

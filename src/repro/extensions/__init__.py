@@ -1,0 +1,5 @@
+"""Extensions beyond the paper's core: the §VII future-work features."""
+
+from repro.extensions.fusion import FusionSearcher
+
+__all__ = ["FusionSearcher"]

@@ -1,0 +1,186 @@
+"""Persistence: saving and reloading search traces and query outcomes.
+
+Long experiments should not have to re-run to be re-analysed. This module
+round-trips the library's result objects through plain, inspectable files:
+
+* :func:`save_trace` / :func:`load_trace` — a :class:`SearchTrace` as a
+  compressed ``.npz`` (arrays) with an embedded JSON header (scalars and
+  result payloads). Result payloads survive as dictionaries: theory-sim
+  integer ids stay ints; :class:`~repro.query.FoundObject` records round-trip
+  losslessly.
+* :func:`save_outcome_summary` — a human- and machine-readable JSON summary
+  of a :class:`~repro.query.QueryOutcome` (query, method, recall milestones,
+  cost), the thing you would commit next to a paper table.
+
+Datasets themselves are *not* serialised: they are pure functions of
+``(name, scale, seed)`` — :func:`dataset_fingerprint` captures that triple
+so a stored trace can be re-bound to its exact world later.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.sampler import SearchTrace
+from repro.errors import ReproError
+from repro.query.engine import FoundObject, QueryOutcome
+from repro.query.metrics import samples_to_recall, time_to_recall
+from repro.video.datasets import Dataset
+
+Pathish = Union[str, pathlib.Path]
+
+_FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """A trace or outcome file is missing, corrupt, or incompatible."""
+
+
+def _payload_to_jsonable(payload: object) -> Dict:
+    if isinstance(payload, (int, np.integer)):
+        return {"kind": "instance", "uid": int(payload)}
+    if isinstance(payload, FoundObject):
+        record = dataclasses.asdict(payload)
+        record["box_xyxy"] = [float(v) for v in record["box_xyxy"]]
+        return {"kind": "found", **record}
+    raise PersistenceError(
+        f"cannot serialise result payload of type {type(payload).__name__}"
+    )
+
+
+def _payload_from_jsonable(record: Dict) -> object:
+    kind = record.get("kind")
+    if kind == "instance":
+        return int(record["uid"])
+    if kind == "found":
+        fields = {k: v for k, v in record.items() if k != "kind"}
+        fields["box_xyxy"] = tuple(fields["box_xyxy"])
+        return FoundObject(**fields)
+    raise PersistenceError(f"unknown payload kind {kind!r}")
+
+
+def save_trace(trace: SearchTrace, path: Pathish) -> pathlib.Path:
+    """Write a trace to ``path`` (``.npz`` appended if absent)."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    header = {
+        "version": _FORMAT_VERSION,
+        "searcher": trace.searcher,
+        "upfront_cost": trace.upfront_cost,
+        "results": [_payload_to_jsonable(p) for p in trace.results],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        chunks=trace.chunks,
+        frames=trace.frames,
+        d0s=trace.d0s,
+        d1s=trace.d1s,
+        costs=trace.costs,
+        header=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+    return path
+
+
+def load_trace(path: Pathish) -> SearchTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no trace file at {path}")
+    try:
+        with np.load(path) as data:
+            header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+            arrays = {
+                key: data[key]
+                for key in ("chunks", "frames", "d0s", "d1s", "costs")
+            }
+    except (KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise PersistenceError(f"corrupt trace file {path}: {exc}") from exc
+    if header.get("version") != _FORMAT_VERSION:
+        raise PersistenceError(
+            f"trace format version {header.get('version')} not supported"
+        )
+    return SearchTrace(
+        chunks=arrays["chunks"],
+        frames=arrays["frames"],
+        d0s=arrays["d0s"],
+        d1s=arrays["d1s"],
+        costs=arrays["costs"],
+        results=[_payload_from_jsonable(r) for r in header["results"]],
+        upfront_cost=float(header["upfront_cost"]),
+        searcher=str(header["searcher"]),
+    )
+
+
+def dataset_fingerprint(dataset: Dataset) -> Dict:
+    """The identity of a (re-creatable) dataset: structure, not contents."""
+    return {
+        "name": dataset.name,
+        "total_frames": dataset.total_frames,
+        "num_chunks": dataset.chunk_map.num_chunks,
+        "num_instances": dataset.world.num_instances,
+        "classes": dataset.classes,
+        "camera": dataset.camera,
+    }
+
+
+def save_outcome_summary(
+    outcome: QueryOutcome,
+    path: Pathish,
+    dataset: Optional[Dataset] = None,
+    recalls: tuple = (0.1, 0.5, 0.9),
+) -> pathlib.Path:
+    """Write a JSON summary of a query outcome (not the full trace)."""
+    path = pathlib.Path(path)
+    milestones = {}
+    for recall in recalls:
+        milestones[str(recall)] = {
+            "samples": samples_to_recall(outcome.trace, outcome.gt_count, recall),
+            "seconds": time_to_recall(outcome.trace, outcome.gt_count, recall),
+        }
+    summary = {
+        "version": _FORMAT_VERSION,
+        "query": {
+            "class_name": outcome.query.class_name,
+            "limit": outcome.query.limit,
+            "recall_target": outcome.query.recall_target,
+            "frame_budget": outcome.query.frame_budget,
+        },
+        "method": outcome.method,
+        "gt_count": outcome.gt_count,
+        "num_results": outcome.num_results,
+        "num_samples": outcome.trace.num_samples,
+        "total_cost_seconds": outcome.trace.total_cost,
+        "upfront_cost_seconds": outcome.trace.upfront_cost,
+        "final_recall": outcome.recall(),
+        "milestones": milestones,
+    }
+    if dataset is not None:
+        summary["dataset"] = dataset_fingerprint(dataset)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(summary, indent=2) + "\n")
+    return path
+
+
+def load_outcome_summary(path: Pathish) -> Dict:
+    """Read a summary written by :func:`save_outcome_summary`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no summary file at {path}")
+    try:
+        summary = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"corrupt summary file {path}: {exc}") from exc
+    if summary.get("version") != _FORMAT_VERSION:
+        raise PersistenceError(
+            f"summary format version {summary.get('version')} not supported"
+        )
+    return summary

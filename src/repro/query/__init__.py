@@ -1,0 +1,45 @@
+"""User-facing query layer: queries, cost model, metrics, engine."""
+
+from repro.query.cost import PAPER_DETECTOR_FPS, PAPER_SCAN_FPS, CostModel
+from repro.query.engine import (
+    SEARCH_METHODS,
+    FoundObject,
+    QueryEngine,
+    QueryOutcome,
+    VideoSearchEnvironment,
+)
+from repro.query.metrics import (
+    duplicate_fraction,
+    interpolate_curves_on_grid,
+    precision,
+    recall_against_table,
+    recall_curve,
+    result_sample_indices,
+    samples_to_recall,
+    savings_ratio,
+    time_to_recall,
+    unique_instance_curve,
+)
+from repro.query.query import DistinctObjectQuery
+
+__all__ = [
+    "CostModel",
+    "DistinctObjectQuery",
+    "FoundObject",
+    "PAPER_DETECTOR_FPS",
+    "PAPER_SCAN_FPS",
+    "QueryEngine",
+    "QueryOutcome",
+    "SEARCH_METHODS",
+    "VideoSearchEnvironment",
+    "duplicate_fraction",
+    "interpolate_curves_on_grid",
+    "precision",
+    "recall_against_table",
+    "recall_curve",
+    "result_sample_indices",
+    "samples_to_recall",
+    "savings_ratio",
+    "time_to_recall",
+    "unique_instance_curve",
+]

@@ -1,0 +1,84 @@
+"""Cost accounting matching the paper's measurements (§V-B).
+
+The paper's two throughput constants anchor every time comparison:
+
+* "ExSample processes frames at a rate of 20 frames per second, bound by
+  the object detector throughput" — sampling costs 1/20 s per frame,
+  end-to-end (random-access decode included);
+* "the scoring throughput we can sustain on our equipment (100 frames per
+  second, bound by io+decode)" — a proxy scan costs 1/100 s per frame.
+
+For studies of the decode component itself, `detailed=True` splits the
+sampling cost into a fixed detector term plus the decoder's keyframe-aware
+random-access cost.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.video.decoder import SimulatedDecoder
+
+#: §V-B: end-to-end sampling throughput in frames/second.
+PAPER_DETECTOR_FPS = 20.0
+#: §V-B: proxy scoring scan throughput in frames/second.
+PAPER_SCAN_FPS = 100.0
+
+
+class CostModel:
+    """Translates work (frames detected, frames scanned) into seconds."""
+
+    def __init__(
+        self,
+        detector_fps: float = PAPER_DETECTOR_FPS,
+        scan_fps: float = PAPER_SCAN_FPS,
+        detailed: bool = False,
+        decoder: SimulatedDecoder | None = None,
+    ):
+        if detector_fps <= 0 or scan_fps <= 0:
+            raise ConfigError("throughputs must be positive")
+        self.detector_fps = detector_fps
+        self.scan_fps = scan_fps
+        self.detailed = detailed
+        self.decoder = decoder or SimulatedDecoder()
+
+    def sample_cost(self, video: int, frame: int) -> float:
+        """Seconds to randomly access + decode + detect one frame."""
+        if not self.detailed:
+            return 1.0 / self.detector_fps
+        decode = self.decoder.random_access_cost(frame)
+        # The detector-fps figure is end-to-end; in detailed mode we treat
+        # the published rate as detector-only and add decode explicitly.
+        return decode + 1.0 / self.detector_fps
+
+    def scan_cost(self, num_frames: int) -> float:
+        """Seconds for a sequential proxy-scoring scan over ``num_frames``."""
+        if num_frames < 0:
+            raise ConfigError("num_frames must be non-negative")
+        return num_frames / self.scan_fps
+
+    def sampling_rate(self) -> float:
+        """Frames/second the sampler achieves under this model."""
+        return self.detector_fps
+
+    def batched_sample_cost(
+        self, batch_size: int, marginal_fraction: float = 0.4
+    ) -> float:
+        """Per-frame seconds when the detector runs on batches (§III-F).
+
+        "On modern GPUs inference throughput is faster when performed on
+        batches of images." Modelled as a fixed per-invocation overhead
+        plus a marginal per-frame cost: at batch 1 the cost equals
+        ``1/detector_fps``; as the batch grows it approaches
+        ``marginal_fraction / detector_fps`` (a 1/marginal_fraction ceiling
+        on the speedup — 2.5x at the 0.4 default, typical of detection
+        models whose preprocessing and memory traffic amortise but whose
+        FLOPs do not).
+        """
+        if batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        if not 0 < marginal_fraction <= 1:
+            raise ConfigError("marginal_fraction must lie in (0, 1]")
+        single = 1.0 / self.detector_fps
+        marginal = single * marginal_fraction
+        overhead = single - marginal
+        return (overhead + batch_size * marginal) / batch_size

@@ -1,0 +1,196 @@
+"""Evaluation metrics: recall curves, time-to-recall, savings ratios (§V).
+
+The paper measures *recall over distinct instances* ("recall is the fraction
+of distinct instances found", §V-A) and reports the ratio of the time (or
+frames) two methods need to reach the same recall (Figure 5). These helpers
+compute all of that exactly from :class:`~repro.core.SearchTrace` records.
+
+A detail worth spelling out: a trace's result payloads can contain false
+positives (tracks with no backing instance) and occasional duplicates (the
+tracker lost an object and the same instance was "found" again). Recall is
+computed over *unique real* instances, so neither inflates it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.sampler import SearchTrace
+from repro.errors import QueryError
+
+
+def result_sample_indices(trace: SearchTrace) -> np.ndarray:
+    """For each result payload, the 0-based sample index that produced it."""
+    return np.repeat(np.arange(trace.num_samples), trace.d0s)
+
+
+def _payload_uid(payload: object) -> Optional[int]:
+    """Extract a backing instance uid from a result payload.
+
+    Payloads are either plain ints (the theory simulators return instance
+    ids directly) or objects with an ``instance_uid`` attribute (the video
+    pipeline's found-object records, where None marks a false positive).
+    """
+    if isinstance(payload, (int, np.integer)):
+        return int(payload)
+    uid = getattr(payload, "instance_uid", None)
+    return int(uid) if uid is not None else None
+
+
+def unique_instance_curve(trace: SearchTrace) -> np.ndarray:
+    """Unique *real* instances found after each processed frame."""
+    curve = np.zeros(trace.num_samples, dtype=np.int64)
+    if trace.num_samples == 0:
+        return curve
+    seen: set[int] = set()
+    indices = result_sample_indices(trace)
+    per_sample_new = np.zeros(trace.num_samples, dtype=np.int64)
+    for payload, sample_idx in zip(trace.results, indices):
+        uid = _payload_uid(payload)
+        if uid is None or uid in seen:
+            continue
+        seen.add(uid)
+        per_sample_new[sample_idx] += 1
+    np.cumsum(per_sample_new, out=curve)
+    return curve
+
+
+def recall_curve(trace: SearchTrace, gt_count: int) -> np.ndarray:
+    """Recall over distinct instances after each processed frame."""
+    if gt_count <= 0:
+        raise QueryError("gt_count must be positive")
+    return unique_instance_curve(trace) / float(gt_count)
+
+
+def samples_to_recall(
+    trace: SearchTrace, gt_count: int, recall: float
+) -> Optional[int]:
+    """Frames processed until ``recall`` of GT instances were found.
+
+    Returns None if the trace never reaches the target.
+    """
+    if not 0 < recall <= 1:
+        raise QueryError("recall must lie in (0, 1]")
+    needed = max(int(np.ceil(recall * gt_count - 1e-9)), 1)
+    curve = unique_instance_curve(trace)
+    hits = np.flatnonzero(curve >= needed)
+    if hits.size == 0:
+        return None
+    return int(hits[0]) + 1
+
+
+def time_to_recall(
+    trace: SearchTrace, gt_count: int, recall: float
+) -> Optional[float]:
+    """Seconds (including any upfront scan) until reaching ``recall``."""
+    samples = samples_to_recall(trace, gt_count, recall)
+    if samples is None:
+        return None
+    return float(trace.upfront_cost + trace.costs[:samples].sum())
+
+
+def savings_ratio(
+    baseline: SearchTrace,
+    candidate: SearchTrace,
+    gt_count: int,
+    recall: float,
+    mode: str = "time",
+) -> Optional[float]:
+    """How much faster ``candidate`` reaches ``recall`` than ``baseline``.
+
+    The Figure 5 quantity: values above 1 mean the candidate (ExSample in
+    the paper) wins. ``mode`` is "time" (includes upfront costs) or
+    "samples" (detector invocations only). Returns None when either trace
+    fails to reach the target.
+    """
+    if mode == "time":
+        base = time_to_recall(baseline, gt_count, recall)
+        cand = time_to_recall(candidate, gt_count, recall)
+    elif mode == "samples":
+        base_s = samples_to_recall(baseline, gt_count, recall)
+        cand_s = samples_to_recall(candidate, gt_count, recall)
+        base = float(base_s) if base_s is not None else None
+        cand = float(cand_s) if cand_s is not None else None
+    else:
+        raise QueryError(f"unknown savings mode {mode!r}")
+    if base is None or cand is None or cand <= 0:
+        return None
+    return base / cand
+
+
+def precision(trace: SearchTrace) -> float:
+    """Fraction of returned results backed by a real instance."""
+    if not trace.results:
+        return 1.0
+    real = sum(1 for payload in trace.results if _payload_uid(payload) is not None)
+    return real / len(trace.results)
+
+
+def duplicate_fraction(trace: SearchTrace) -> float:
+    """Fraction of real results that re-found an already-found instance.
+
+    Nonzero when the discriminator's tracker lost an object and a later
+    sighting opened a second track for the same physical instance.
+    """
+    uids = [
+        _payload_uid(payload)
+        for payload in trace.results
+        if _payload_uid(payload) is not None
+    ]
+    if not uids:
+        return 0.0
+    return 1.0 - len(set(uids)) / len(uids)
+
+
+def recall_against_table(
+    trace: SearchTrace,
+    approx_count: int,
+    true_count: int,
+) -> dict:
+    """Recall under both denominators: approximate (scan-built) and true GT.
+
+    The paper's recall denominators come from a sequential scan + IoU
+    tracking pass (§V-A), not from oracle labels. This helper reports the
+    final recall under an approximate count alongside the oracle-count
+    recall, so experiments can quantify how much the GT approximation moves
+    the metric. ``approx_count`` typically comes from
+    :func:`repro.tracking.approximate_ground_truth`.
+    """
+    if approx_count <= 0 or true_count <= 0:
+        raise QueryError("both GT counts must be positive")
+    found = int(unique_instance_curve(trace)[-1]) if trace.num_samples else 0
+    return {
+        "found": found,
+        "recall_vs_true": found / true_count,
+        "recall_vs_approx": min(found / approx_count, 1.0),
+        "denominator_ratio": approx_count / true_count,
+    }
+
+
+def interpolate_curves_on_grid(
+    traces: Sequence[SearchTrace],
+    grid: np.ndarray,
+    gt_count: Optional[int] = None,
+) -> np.ndarray:
+    """Stack discovery (or recall) curves from many runs onto a sample grid.
+
+    Used by the experiment runner to compute Figure 3-style median bands
+    across repeated runs of unequal length.
+    """
+    rows: List[np.ndarray] = []
+    for trace in traces:
+        curve = (
+            unique_instance_curve(trace)
+            if gt_count is None
+            else recall_curve(trace, gt_count)
+        )
+        padded = np.zeros(len(grid), dtype=float)
+        for i, g in enumerate(grid):
+            if g <= 0 or curve.size == 0:
+                padded[i] = 0.0
+            else:
+                padded[i] = curve[min(int(g), curve.size) - 1]
+        rows.append(padded)
+    return np.vstack(rows)

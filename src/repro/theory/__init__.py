@@ -1,0 +1,76 @@
+"""Analytical machinery: the paper's §III-D and §IV simulations and bounds."""
+
+from repro.theory.bounds import (
+    MarginReport,
+    bias_margin_report,
+    dataset_coverage_check,
+    poisson_fit_report,
+    variance_margin_report,
+)
+from repro.theory.coin_sim import (
+    RunTuples,
+    first_two_appearances,
+    run_statistics_at,
+    simulate_many_runs,
+    simulate_run_fast,
+    simulate_run_literal,
+)
+from repro.theory.estimator_validation import (
+    PAPER_FIGURE2_CELLS,
+    CellReport,
+    bias_profile,
+    cell_report,
+    populated_cells,
+    variance_bound_coverage,
+)
+from repro.theory.instances import (
+    InstancePopulation,
+    even_chunk_bounds,
+    lognormal_durations,
+    lognormal_probabilities,
+)
+from repro.theory.optimal_weights import (
+    expected_found,
+    expected_found_curve,
+    optimal_curve,
+    optimal_weights,
+    project_to_simplex,
+    uniform_weights,
+)
+from repro.theory.skew import SkewSummary, half_cover_mask, k_half, skew_metric
+from repro.theory.temporal_sim import TemporalEnvironment
+
+__all__ = [
+    "CellReport",
+    "MarginReport",
+    "bias_margin_report",
+    "dataset_coverage_check",
+    "poisson_fit_report",
+    "variance_margin_report",
+    "InstancePopulation",
+    "PAPER_FIGURE2_CELLS",
+    "RunTuples",
+    "SkewSummary",
+    "TemporalEnvironment",
+    "bias_profile",
+    "cell_report",
+    "even_chunk_bounds",
+    "expected_found",
+    "expected_found_curve",
+    "first_two_appearances",
+    "half_cover_mask",
+    "k_half",
+    "lognormal_durations",
+    "lognormal_probabilities",
+    "optimal_curve",
+    "optimal_weights",
+    "populated_cells",
+    "project_to_simplex",
+    "run_statistics_at",
+    "simulate_many_runs",
+    "simulate_run_fast",
+    "simulate_run_literal",
+    "skew_metric",
+    "uniform_weights",
+    "variance_bound_coverage",
+]

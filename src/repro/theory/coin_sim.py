@@ -1,0 +1,166 @@
+"""The §III-D occupancy-model simulation ("tossing 1000 coins").
+
+The paper validates the Gamma belief (Eq. III.4) by simulating frames in
+which each instance ``i`` appears independently with probability ``p_i``,
+tracking ``(n, N1, R(n+1))`` tuples across many runs, and comparing the
+histogram of the *true* ``R(n+1)`` values at a given ``(n, N1)`` against the
+belief density.
+
+Two simulators are provided:
+
+* :func:`simulate_run_fast` — exact and fast. Only the first and second
+  appearance time of each instance matter for ``N1`` and ``R``: instance
+  ``i`` contributes to ``N1(n)`` iff ``t1_i <= n < t2_i`` and to ``R(n+1)``
+  iff ``t1_i > n``. Appearance gaps are geometric, so both times can be
+  drawn directly and whole runs evaluated on a checkpoint grid without ever
+  materialising frames. This makes the paper's "hundreds of millions of
+  tuples" regime reachable in seconds.
+* :func:`simulate_run_literal` — the paper's verbatim coin-tossing loop,
+  kept (a) as executable documentation and (b) so tests can assert the fast
+  path agrees with it distributionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+@dataclass
+class RunTuples:
+    """The ``(n, N1, R(n+1))`` triples harvested from one or more runs."""
+
+    n: np.ndarray
+    n1: np.ndarray
+    r_next: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (self.n.shape == self.n1.shape == self.r_next.shape):
+            raise DatasetError("tuple arrays must align")
+
+    @property
+    def size(self) -> int:
+        return int(self.n.size)
+
+    def at(self, n: int, n1: int, n_tolerance: float = 0.05) -> np.ndarray:
+        """True R(n+1) values observed near the given (n, N1) cell.
+
+        Figure 2 conditions on an exact (n, N1) pair; with fewer runs than
+        the paper's 10K we also accept n within ±``n_tolerance`` (relative)
+        so histograms have enough mass. N1 is always matched exactly — it is
+        the quantity whose information content we are testing.
+        """
+        lo = n * (1 - n_tolerance) - 1
+        hi = n * (1 + n_tolerance) + 1
+        mask = (self.n1 == n1) & (self.n >= lo) & (self.n <= hi)
+        return self.r_next[mask]
+
+    @staticmethod
+    def concatenate(parts: "list[RunTuples]") -> "RunTuples":
+        return RunTuples(
+            n=np.concatenate([p.n for p in parts]),
+            n1=np.concatenate([p.n1 for p in parts]),
+            r_next=np.concatenate([p.r_next for p in parts]),
+        )
+
+
+def first_two_appearances(
+    p: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample the first and second appearance frame of each instance.
+
+    Appearances of instance ``i`` across sampled frames form a Bernoulli
+    process with rate ``p_i``; inter-appearance gaps are geometric. Returns
+    1-based frame indices ``(t1, t2)`` with ``t1 < t2``.
+    """
+    p = np.asarray(p, dtype=float)
+    if np.any((p <= 0) | (p >= 1)):
+        raise DatasetError("probabilities must lie strictly inside (0, 1)")
+    t1 = rng.geometric(p)
+    t2 = t1 + rng.geometric(p)
+    return t1.astype(np.int64), t2.astype(np.int64)
+
+
+def run_statistics_at(
+    p: np.ndarray,
+    t1: np.ndarray,
+    t2: np.ndarray,
+    checkpoints: np.ndarray,
+) -> RunTuples:
+    """Evaluate (N1(n), R(n+1)) at each checkpoint n of one simulated run.
+
+    * ``N1(n)`` = number of instances with exactly one appearance in the
+      first n frames = #{i : t1_i <= n < t2_i}.
+    * ``R(n+1)`` = expected new instances in the next frame
+      = sum of p_i over instances not yet seen = Σ_{t1_i > n} p_i.
+
+    Both are computed for all checkpoints at once by sorting the appearance
+    times (O((N + C) log N) per run).
+    """
+    checkpoints = np.asarray(checkpoints, dtype=np.int64)
+    p = np.asarray(p, dtype=float)
+    order1 = np.sort(t1)
+    order2 = np.sort(t2)
+    seen_once_or_more = np.searchsorted(order1, checkpoints, side="right")
+    seen_twice_or_more = np.searchsorted(order2, checkpoints, side="right")
+    n1 = seen_once_or_more - seen_twice_or_more
+
+    # R(n+1): sum p over unseen instances. Sort instances by t1 and take a
+    # suffix-sum of p in that order.
+    sort_idx = np.argsort(t1)
+    sorted_t1 = t1[sort_idx]
+    suffix_p = np.concatenate([np.cumsum(p[sort_idx][::-1])[::-1], [0.0]])
+    first_unseen = np.searchsorted(sorted_t1, checkpoints, side="right")
+    r_next = suffix_p[first_unseen]
+
+    return RunTuples(n=checkpoints.copy(), n1=n1.astype(np.int64), r_next=r_next)
+
+
+def simulate_run_fast(
+    p: np.ndarray,
+    checkpoints: np.ndarray,
+    rng: np.random.Generator,
+) -> RunTuples:
+    """One full run of the §III-D simulation via appearance-time sampling."""
+    t1, t2 = first_two_appearances(p, rng)
+    return run_statistics_at(p, t1, t2, checkpoints)
+
+
+def simulate_many_runs(
+    p: np.ndarray,
+    checkpoints: np.ndarray,
+    runs: int,
+    rng: np.random.Generator,
+) -> RunTuples:
+    """Repeat :func:`simulate_run_fast` and pool all harvested tuples."""
+    if runs <= 0:
+        raise DatasetError("runs must be positive")
+    parts = [simulate_run_fast(p, checkpoints, rng) for _ in range(runs)]
+    return RunTuples.concatenate(parts)
+
+
+def simulate_run_literal(
+    p: np.ndarray,
+    max_n: int,
+    rng: np.random.Generator,
+) -> RunTuples:
+    """The paper's verbatim simulation: toss every coin for every frame.
+
+    Exact but O(max_n * N); used by tests on small populations to validate
+    :func:`simulate_run_fast`, and kept as executable documentation of
+    §III-D's procedure.
+    """
+    p = np.asarray(p, dtype=float)
+    times_seen = np.zeros(p.size, dtype=np.int64)
+    n_vals = np.arange(1, max_n + 1, dtype=np.int64)
+    n1_vals = np.zeros(max_n, dtype=np.int64)
+    r_vals = np.zeros(max_n, dtype=float)
+    for step in range(max_n):
+        present = rng.random(p.size) < p
+        times_seen[present] += 1
+        n1_vals[step] = int(np.sum(times_seen == 1))
+        r_vals[step] = float(np.sum(p[times_seen == 0]))
+    return RunTuples(n=n_vals, n1=n1_vals, r_next=r_vals)

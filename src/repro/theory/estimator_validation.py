@@ -1,0 +1,165 @@
+"""Empirical validation of the estimator and its Gamma belief (§III-D, Fig 2).
+
+Given harvested ``(n, N1, R(n+1))`` tuples from the occupancy simulation,
+this module answers the paper's validation question: *given an observed
+(N1, n), what is the true R(n+1), and how does it compare to the belief
+distribution Gamma(N1 + alpha0, n + beta0)?*
+
+For each probed ``(n, N1)`` cell we report the empirical distribution of the
+true ``R(n+1)`` against the belief's mean/std/quantiles, plus the §III-D
+confidence-coverage check ("the 95% confidence bound derived from Eq. III.3
+includes the actual expected reward about 80% of the time" on real data with
+dependent instances; near 95% under independence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.belief import GammaBelief
+from repro.core.config import PAPER_ALPHA0, PAPER_BETA0
+from repro.theory.coin_sim import RunTuples
+
+#: The six (n, N1) cells highlighted in the paper's Figure 2.
+PAPER_FIGURE2_CELLS: Tuple[Tuple[int, int], ...] = (
+    (82, 127),
+    (100, 116),
+    (14093, 58),
+    (120911, 4),
+    (172085, 5),
+    (179601, 0),
+)
+
+
+@dataclass(frozen=True)
+class CellReport:
+    """Belief-vs-truth comparison at one (n, N1) cell."""
+
+    n: int
+    n1: int
+    observations: int
+    true_mean: float
+    true_std: float
+    belief_mean: float
+    belief_std: float
+    #: Fraction of true R values inside the belief's central 95% interval.
+    belief_coverage_95: float
+    point_estimate: float
+
+    @property
+    def mean_ratio(self) -> float:
+        """Belief mean / true mean (≥1 indicates the predicted overestimate)."""
+        if self.true_mean <= 0:
+            return float("inf")
+        return self.belief_mean / self.true_mean
+
+
+def cell_report(
+    tuples: RunTuples,
+    n: int,
+    n1: int,
+    alpha0: float = PAPER_ALPHA0,
+    beta0: float = PAPER_BETA0,
+    n_tolerance: float = 0.05,
+) -> CellReport | None:
+    """Compare the Gamma belief to the truth at one (n, N1) cell.
+
+    Returns ``None`` when the harvested tuples contain no observation in the
+    cell (the caller should then choose a better-populated cell).
+    """
+    r_values = tuples.at(n, n1, n_tolerance=n_tolerance)
+    if r_values.size == 0:
+        return None
+    belief = GammaBelief(alpha=n1 + alpha0, beta=n + beta0)
+    lo, hi = belief.quantile(0.025), belief.quantile(0.975)
+    coverage = float(np.mean((r_values >= lo) & (r_values <= hi)))
+    return CellReport(
+        n=n,
+        n1=n1,
+        observations=int(r_values.size),
+        true_mean=float(np.mean(r_values)),
+        true_std=float(np.std(r_values)),
+        belief_mean=belief.mean,
+        belief_std=float(np.sqrt(belief.variance)),
+        belief_coverage_95=coverage,
+        point_estimate=n1 / n if n > 0 else 0.0,
+    )
+
+
+def populated_cells(
+    tuples: RunTuples,
+    num_cells: int = 6,
+    min_observations: int = 10,
+    n_tolerance: float = 0.05,
+) -> List[Tuple[int, int]]:
+    """Pick well-populated (n, N1) cells spanning early/mid/late sampling.
+
+    The paper chose its six Figure 2 cells from a 10K-run harvest; smaller
+    harvests may leave literal cells empty, so benches regenerate the
+    figure on the modal N1 found inside a ±``n_tolerance`` window around
+    geometrically spaced n probes (the same window :meth:`RunTuples.at`
+    uses to collect the histogram).
+    """
+    if tuples.size == 0:
+        return []
+    n_values = np.unique(tuples.n)
+    probes = np.unique(
+        np.geomspace(n_values[0], n_values[-1], num=num_cells).astype(np.int64)
+    )
+    cells: List[Tuple[int, int]] = []
+    for probe in probes:
+        nearest = int(n_values[np.argmin(np.abs(n_values - probe))])
+        window = (tuples.n >= nearest * (1 - n_tolerance) - 1) & (
+            tuples.n <= nearest * (1 + n_tolerance) + 1
+        )
+        at_n = tuples.n1[window]
+        if at_n.size == 0:
+            continue
+        values, counts = np.unique(at_n, return_counts=True)
+        best = values[np.argmax(counts)]
+        if counts.max() >= min_observations and (nearest, int(best)) not in cells:
+            cells.append((nearest, int(best)))
+    return cells
+
+
+def variance_bound_coverage(
+    tuples: RunTuples,
+    z: float = 1.96,
+) -> float:
+    """§III-D coverage check of the Eq. III.3 confidence bound.
+
+    For each harvested tuple, build the interval
+    R̂ ± z · sqrt(R̂ / n) (using the observable estimate in place of its
+    expectation) and report the fraction of tuples whose true R(n+1) falls
+    inside. The paper measured ≈80% on BDD MOT (dependent instances) against
+    the nominal 95%.
+    """
+    mask = tuples.n > 0
+    n = tuples.n[mask].astype(float)
+    est = tuples.n1[mask] / n
+    half_width = z * np.sqrt(np.maximum(est, 1e-12) / n)
+    truth = tuples.r_next[mask]
+    inside = np.abs(truth - est) <= half_width
+    return float(np.mean(inside))
+
+
+def bias_profile(
+    tuples: RunTuples, n_grid: Sequence[int]
+) -> List[Tuple[int, float, float]]:
+    """Mean estimator bias E[R̂ - R] measured at each n in the grid.
+
+    Returns tuples of (n, mean_bias, mean_estimate); the theorem of §III-A
+    predicts mean_bias >= 0 and small relative to mean_estimate.
+    """
+    out: List[Tuple[int, float, float]] = []
+    for n in n_grid:
+        mask = tuples.n == n
+        if not np.any(mask):
+            continue
+        est = tuples.n1[mask] / float(n)
+        bias = est - tuples.r_next[mask]
+        out.append((int(n), float(np.mean(bias)), float(np.mean(est))))
+    return out

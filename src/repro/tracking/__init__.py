@@ -1,0 +1,19 @@
+"""Tracking substrate: IoU matching, tracks, the discriminator, GT building."""
+
+from repro.tracking.discriminator import FrameMatchResult, TrackDiscriminator
+from repro.tracking.groundtruth import GroundTruthTable, approximate_ground_truth
+from repro.tracking.iou_tracker import OnlineIoUTracker, TrackedObject
+from repro.tracking.matching import greedy_match, hungarian_match
+from repro.tracking.tracks import Track
+
+__all__ = [
+    "FrameMatchResult",
+    "GroundTruthTable",
+    "OnlineIoUTracker",
+    "Track",
+    "TrackDiscriminator",
+    "TrackedObject",
+    "approximate_ground_truth",
+    "greedy_match",
+    "hungarian_match",
+]

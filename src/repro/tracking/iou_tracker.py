@@ -1,0 +1,132 @@
+"""An online SORT-like IoU tracker over sequential detector outputs.
+
+The paper builds its approximate ground truth by "sequentially scanning
+every video in the dataset and running each frame through a reference object
+detector ... To match objects across neighboring frames, we employ an
+Intersection over Union (IoU) matching approach similar to SORT" (§V-A).
+This module is that tracker: detections arrive frame by frame; each is
+matched to an active track by IoU (greedy, like SORT's cheap variant) with a
+maximum frame gap; unmatched detections open new tracks.
+
+It serves two roles: building approximate ground truth in
+:mod:`repro.tracking.groundtruth`, and acting as a reference implementation
+the discriminator's behaviour can be sanity-checked against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.detection.detections import Detection
+from repro.errors import ConfigError
+from repro.tracking.matching import greedy_match
+from repro.video.geometry import BoundingBox, iou_matrix
+
+
+@dataclass
+class TrackedObject:
+    """A track produced by the online tracker."""
+
+    track_id: int
+    class_name: str
+    video: int
+    first_frame: int
+    last_frame: int
+    last_box: BoundingBox
+    detections: int = 1
+    #: Majority vote over backing uids (evaluation only; None = untracked FP).
+    instance_votes: Dict[Optional[int], int] = field(default_factory=dict)
+
+    @property
+    def span(self) -> int:
+        return self.last_frame - self.first_frame + 1
+
+    def majority_instance(self) -> Optional[int]:
+        if not self.instance_votes:
+            return None
+        return max(self.instance_votes.items(), key=lambda kv: kv[1])[0]
+
+
+class OnlineIoUTracker:
+    """Frame-by-frame greedy IoU association with gap tolerance."""
+
+    def __init__(
+        self,
+        iou_threshold: float = 0.3,
+        max_frame_gap: int = 30,
+    ):
+        if not 0 < iou_threshold <= 1:
+            raise ConfigError("iou_threshold must lie in (0, 1]")
+        if max_frame_gap < 1:
+            raise ConfigError("max_frame_gap must be >= 1")
+        self.iou_threshold = iou_threshold
+        self.max_frame_gap = max_frame_gap
+        self.finished: List[TrackedObject] = []
+        self._active: List[TrackedObject] = []
+        self._current_video: Optional[int] = None
+
+    def process_frame(
+        self, video: int, frame: int, detections: List[Detection]
+    ) -> None:
+        """Advance the tracker by one (sequentially increasing) frame."""
+        if self._current_video != video:
+            self.flush()
+            self._current_video = video
+        # Retire tracks that have been unmatched for too long.
+        still_active: List[TrackedObject] = []
+        for track in self._active:
+            if frame - track.last_frame > self.max_frame_gap:
+                self.finished.append(track)
+            else:
+                still_active.append(track)
+        self._active = still_active
+
+        if not detections:
+            return
+        if self._active:
+            det_boxes = np.stack([d.box.as_array() for d in detections])
+            track_boxes = np.stack([t.last_box.as_array() for t in self._active])
+            iou = iou_matrix(det_boxes, track_boxes)
+            for di, det in enumerate(detections):
+                for ti, track in enumerate(self._active):
+                    if track.class_name != det.class_name:
+                        iou[di, ti] = 0.0
+            pairs = greedy_match(iou, self.iou_threshold)
+        else:
+            pairs = []
+        matched = {di for di, _ in pairs}
+        for di, ti in pairs:
+            det = detections[di]
+            track = self._active[ti]
+            track.last_frame = frame
+            track.last_box = det.box
+            track.detections += 1
+            track.instance_votes[det.instance_uid] = (
+                track.instance_votes.get(det.instance_uid, 0) + 1
+            )
+        for di, det in enumerate(detections):
+            if di in matched:
+                continue
+            track = TrackedObject(
+                track_id=len(self.finished) + len(self._active),
+                class_name=det.class_name,
+                video=video,
+                first_frame=frame,
+                last_frame=frame,
+                last_box=det.box,
+                instance_votes={det.instance_uid: 1},
+            )
+            self._active.append(track)
+
+    def flush(self) -> None:
+        """Close all active tracks (end of a video or of the scan)."""
+        self.finished.extend(self._active)
+        self._active = []
+
+    def results(self) -> List[TrackedObject]:
+        """All tracks, closing active ones first."""
+        self.flush()
+        return self.finished

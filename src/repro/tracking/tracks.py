@@ -1,0 +1,90 @@
+"""Tracks: the discriminator's memory of objects it has already returned.
+
+When the discriminator accepts a detection as a *new* object, it runs a
+tracker "backwards and forwards through video ... to compute the position of
+that object in each frame where the object was visible; then, future
+detections are discarded if they match previously observed positions"
+(§II-B). A :class:`Track` is that record: a covered frame interval plus the
+per-frame box the tracker produced, and a counter of how many sampled frames
+have matched it (which is what feeds Algorithm 1's ``d1``).
+
+Two kinds of track exist in the simulation:
+
+* instance-backed — the simulated tracker followed a real trajectory; its
+  per-frame box delegates to the ground-truth trajectory over the interval
+  the tracker managed to cover before losing the object;
+* point tracks — a false-positive detection has no trajectory to follow, so
+  the track covers just the frame it was seen in with the detected box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import DatasetError
+from repro.video.geometry import BoundingBox
+from repro.video.synthetic import ObjectInstance
+
+
+@dataclass
+class Track:
+    """One returned object's tracked extent.
+
+    Attributes
+    ----------
+    track_id:
+        Dense discriminator-local id.
+    class_name, video:
+        What and where.
+    start, end:
+        Frame interval ``[start, end)`` the tracker covered.
+    instance:
+        Backing ground-truth instance, or None for false-positive tracks.
+    anchor_box:
+        The originally detected box (the only position known for
+        false-positive tracks).
+    times_seen:
+        How many sampled frames have shown this object so far (>= 1; the
+        discovery itself counts as the first sighting).
+    origin_chunk:
+        The chunk the discovery frame was sampled from, set by the query
+        engine; feeds the ``cross_chunk="origin"`` accounting mode.
+    """
+
+    track_id: int
+    class_name: str
+    video: int
+    start: int
+    end: int
+    instance: Optional[ObjectInstance]
+    anchor_box: BoundingBox
+    times_seen: int = 1
+    origin_chunk: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise DatasetError(f"track {self.track_id} has empty interval")
+        if self.instance is not None:
+            if self.start < self.instance.start or self.end > self.instance.end:
+                raise DatasetError(
+                    "track interval must lie inside the backing instance"
+                )
+
+    def covers(self, video: int, frame: int) -> bool:
+        return video == self.video and self.start <= frame < self.end
+
+    def box_at(self, frame: int) -> BoundingBox:
+        """Tracked box at ``frame`` (must be covered)."""
+        if not self.start <= frame < self.end:
+            raise DatasetError(
+                f"frame {frame} outside track {self.track_id} "
+                f"[{self.start}, {self.end})"
+            )
+        if self.instance is None:
+            return self.anchor_box
+        return self.instance.box_at(frame)
+
+    @property
+    def is_false_positive(self) -> bool:
+        return self.instance is None

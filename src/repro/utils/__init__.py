@@ -1,0 +1,25 @@
+"""Shared utilities: deterministic RNG spawning, statistics, tables, timers."""
+
+from repro.utils.rng import RngFactory, as_generator, spawn_rng
+from repro.utils.stats import (
+    geometric_mean,
+    median_and_band,
+    running_max,
+    trapezoid_auc,
+)
+from repro.utils.tables import ascii_table, format_duration, sparkline
+from repro.utils.timer import Timer
+
+__all__ = [
+    "RngFactory",
+    "Timer",
+    "as_generator",
+    "ascii_table",
+    "format_duration",
+    "geometric_mean",
+    "median_and_band",
+    "running_max",
+    "sparkline",
+    "spawn_rng",
+    "trapezoid_auc",
+]

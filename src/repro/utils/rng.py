@@ -1,0 +1,90 @@
+"""Deterministic random-number-generator management.
+
+Every stochastic component in the library receives an explicit
+:class:`numpy.random.Generator`. Nothing reads global random state, which
+keeps experiments reproducible and lets independent components (the detector,
+the sampler, the dataset builder) consume independent streams derived from a
+single user-facing seed.
+
+Two idioms are supported:
+
+* :func:`spawn_rng` — derive a child generator from a seed and a tuple of
+  string/int keys. The same ``(seed, keys)`` pair always yields the same
+  stream, and distinct key tuples yield statistically independent streams.
+  This is how the simulated detector produces *stable* outputs per frame:
+  detecting frame 1234 twice returns byte-identical detections.
+* :class:`RngFactory` — an object wrapper over :func:`spawn_rng` that
+  remembers the base seed, convenient to thread through long call chains.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Union
+
+import numpy as np
+
+Seedish = Union[int, None, np.random.Generator, "RngFactory"]
+
+
+def _digest_keys(seed: int, keys: Iterable[object]) -> int:
+    """Hash ``seed`` plus arbitrary keys into a 128-bit integer seed."""
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(str(int(seed)).encode())
+    for key in keys:
+        hasher.update(b"\x1f")
+        hasher.update(repr(key).encode())
+    return int.from_bytes(hasher.digest(), "little")
+
+
+def spawn_rng(seed: int, *keys: object) -> np.random.Generator:
+    """Return a generator deterministically derived from ``seed`` and ``keys``.
+
+    >>> a = spawn_rng(7, "detector", 12)
+    >>> b = spawn_rng(7, "detector", 12)
+    >>> float(a.random()) == float(b.random())
+    True
+    """
+    return np.random.Generator(np.random.Philox(_digest_keys(seed, keys)))
+
+
+def as_generator(seed: Seedish) -> np.random.Generator:
+    """Coerce ``seed`` (int, None, Generator, or RngFactory) to a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, RngFactory):
+        return seed.generator()
+    return np.random.default_rng(seed)
+
+
+class RngFactory:
+    """A reproducible factory of independent random streams.
+
+    Parameters
+    ----------
+    seed:
+        Base seed. Two factories with the same seed produce identical
+        streams for identical key tuples.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"RngFactory(seed={self.seed})"
+
+    def stream(self, *keys: object) -> np.random.Generator:
+        """Return the generator for ``keys`` (stable across calls)."""
+        return spawn_rng(self.seed, *keys)
+
+    def generator(self) -> np.random.Generator:
+        """Return the factory's default (un-keyed) generator."""
+        return self.stream("default")
+
+    def child(self, *keys: object) -> "RngFactory":
+        """Return a new factory whose streams are independent of this one."""
+        return RngFactory(_digest_keys(self.seed, keys) % (2**63))
+
+    def integers(self, low: int, high: int, *keys: object) -> int:
+        """Draw one integer in ``[low, high)`` from the keyed stream."""
+        return int(self.stream(*keys).integers(low, high))

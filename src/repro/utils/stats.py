@@ -1,0 +1,76 @@
+"""Small statistics helpers used across experiments and metrics."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    The paper summarises savings ratios with a geometric mean (§I, §V-C),
+    which is the right average for ratios: a 2x speedup and a 0.5x slowdown
+    average to 1x, not 1.25x.
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is empty or contains non-positive entries.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def median_and_band(
+    trajectories: Sequence[Sequence[float]],
+    low: float = 25.0,
+    high: float = 75.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Median and percentile band across repeated-run trajectories.
+
+    This is how Figure 3 summarises its 21 runs: solid line = median,
+    shaded band = 25th..75th percentile. All trajectories must share a
+    common length (callers resample onto a grid first).
+
+    Returns ``(median, band_low, band_high)`` arrays.
+    """
+    arr = np.asarray(trajectories, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError("expected a 2-D array of trajectories")
+    return (
+        np.median(arr, axis=0),
+        np.percentile(arr, low, axis=0),
+        np.percentile(arr, high, axis=0),
+    )
+
+
+def running_max(values: Sequence[float]) -> np.ndarray:
+    """Cumulative maximum; useful to make noisy recall curves monotone."""
+    return np.maximum.accumulate(np.asarray(values, dtype=float))
+
+
+def trapezoid_auc(x: Sequence[float], y: Sequence[float]) -> float:
+    """Area under a curve by the trapezoid rule (normalised by x-range).
+
+    Used to compare whole discovery curves (instances found vs samples)
+    rather than a single recall point.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.size != y_arr.size or x_arr.size < 2:
+        raise ValueError("need two same-length arrays of at least 2 points")
+    span = x_arr[-1] - x_arr[0]
+    if span <= 0:
+        raise ValueError("x must be increasing")
+    return float(np.trapezoid(y_arr, x_arr) / span)
+
+
+def percentile_of(values: Sequence[float], q: float) -> float:
+    """Convenience wrapper matching the paper's ".9 percentile over bars"."""
+    return float(np.percentile(np.asarray(list(values), dtype=float), q * 100))

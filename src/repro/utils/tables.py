@@ -1,0 +1,103 @@
+"""Plain-text rendering of tables, durations and sparklines.
+
+The benchmark harness regenerates every paper table/figure as text. These
+helpers keep the formatting consistent: `ascii_table` renders aligned
+columns, `format_duration` prints seconds the way Table I does ("1m37s",
+"9h50m"), and `sparkline` gives a one-line shape of a curve for figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_duration(seconds: float) -> str:
+    """Format a duration like the paper's Table I: ``52s``, ``8m57s``, ``9h50m``.
+
+    >>> format_duration(97)
+    '1m37s'
+    >>> format_duration(35400)
+    '9h50m'
+    """
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    total = int(round(seconds))
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    if hours > 0:
+        return f"{hours}h{minutes}m" if minutes else f"{hours}h"
+    if minutes > 0:
+        return f"{minutes}m{secs}s" if secs else f"{minutes}m"
+    return f"{secs}s"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Numeric cells are right-aligned, text cells left-aligned. Returns the
+    table as a single string (callers print it).
+    """
+    str_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str], numeric: Sequence[bool]) -> str:
+        parts = []
+        for cell, width, right in zip(cells, widths, numeric):
+            parts.append(cell.rjust(width) if right else cell.ljust(width))
+        return "  ".join(parts).rstrip()
+
+    numeric_cols = [
+        all(_is_numeric(row[i]) for row in str_rows) if str_rows else False
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers), [False] * len(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(fmt_line(row, numeric_cols))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Compress a numeric series into a unicode sparkline of ``width`` chars."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        # Downsample by taking strided representatives.
+        stride = len(vals) / width
+        vals = [vals[int(i * stride)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return _SPARK_CHARS[0] * len(vals)
+    scale = (len(_SPARK_CHARS) - 1) / (hi - lo)
+    return "".join(_SPARK_CHARS[int((v - lo) * scale)] for v in vals)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e9:
+            return str(int(value))
+        return f"{value:.3g}"
+    return str(value)
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text.rstrip("x%"))
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,66 @@
+"""Video repository substrate: frames, chunks, decoding, synthetic worlds."""
+
+from repro.video.chunks import (
+    AutoChunker,
+    Chunk,
+    ChunkMap,
+    FixedDurationChunker,
+    PerClipChunker,
+)
+from repro.video.datasets import (
+    DATASET_BUILDERS,
+    Dataset,
+    build_amsterdam,
+    build_archie,
+    build_bdd1k,
+    build_bdd_mot,
+    build_dashcam,
+    build_night_street,
+    make_dataset,
+)
+from repro.video.decoder import DecodedFrame, SimulatedDecoder
+from repro.video.geometry import BoundingBox, interpolate, iou_matrix
+from repro.video.synthetic import (
+    ClassSpec,
+    ObjectInstance,
+    SyntheticWorld,
+    SyntheticWorldBuilder,
+    build_world,
+)
+from repro.video.video import (
+    Video,
+    VideoRepository,
+    clip_collection_repository,
+    single_camera_repository,
+)
+
+__all__ = [
+    "AutoChunker",
+    "BoundingBox",
+    "Chunk",
+    "ChunkMap",
+    "ClassSpec",
+    "DATASET_BUILDERS",
+    "Dataset",
+    "DecodedFrame",
+    "FixedDurationChunker",
+    "ObjectInstance",
+    "PerClipChunker",
+    "SimulatedDecoder",
+    "SyntheticWorld",
+    "SyntheticWorldBuilder",
+    "Video",
+    "VideoRepository",
+    "build_amsterdam",
+    "build_archie",
+    "build_bdd1k",
+    "build_bdd_mot",
+    "build_dashcam",
+    "build_night_street",
+    "build_world",
+    "clip_collection_repository",
+    "interpolate",
+    "iou_matrix",
+    "make_dataset",
+    "single_camera_repository",
+]

@@ -1,0 +1,339 @@
+"""Synthetic ground truth: object instances with box trajectories.
+
+This is the stand-in for the real world behind the paper's datasets. A
+:class:`SyntheticWorld` holds every object instance in a repository — its
+class, which video it appears in, the frame interval it is visible for, and
+a parametric box trajectory. The simulated detector *observes* this world
+with noise; the discriminator's simulated tracker *follows* trajectories the
+way a pixel tracker would; and the evaluation treats the world as the exact
+ground truth that the paper could only approximate (§V-A).
+
+What matters for reproducing the paper's results is the *joint distribution*
+of instance durations (the ``p_i``) and instance placement across chunks
+(the skew); the builder exposes both directly:
+
+* durations are lognormal in seconds (converted to frames per video fps);
+* placement supports three spatial processes over the global timeline:
+  ``uniform``, ``normal(fraction)`` (95% of instances in the central
+  ``fraction`` — the paper's §IV-B model), and ``hotspots(k, fraction)``
+  (instances cluster around k random locations — how skew actually arises
+  in dashcam data: §IV-B "time of day or location (city, country, highway,
+  camera angle)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.theory.instances import lognormal_durations
+from repro.utils.rng import RngFactory
+from repro.video.geometry import BoundingBox, interpolate
+from repro.video.video import VideoRepository
+
+_Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class ObjectInstance:
+    """One distinct real-world object visible in one video interval.
+
+    Attributes
+    ----------
+    uid:
+        Globally unique instance id (dense, 0-based).
+    class_name:
+        Object category ("traffic light", ...).
+    video, start, end:
+        Visibility interval ``[start, end)`` in frames of ``video``.
+    entry_box, exit_box:
+        Box at the first and last visible frame; positions in between are
+        linearly interpolated (adequate for IoU matching across the frame
+        gaps a sampler produces; real trajectories are smooth at this
+        scale).
+    global_start:
+        ``start`` translated to repository-global frame coordinates.
+    """
+
+    uid: int
+    class_name: str
+    video: int
+    start: int
+    end: int
+    entry_box: BoundingBox
+    exit_box: BoundingBox
+    global_start: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise DatasetError(f"instance {self.uid} has empty interval")
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    @property
+    def global_end(self) -> int:
+        return self.global_start + self.duration
+
+    @property
+    def global_midpoint(self) -> int:
+        return self.global_start + self.duration // 2
+
+    def visible_in(self, video: int, frame: int) -> bool:
+        return video == self.video and self.start <= frame < self.end
+
+    def box_at(self, frame: int) -> BoundingBox:
+        """Ground-truth box at ``frame`` (must be inside the interval)."""
+        if not self.start <= frame < self.end:
+            raise DatasetError(
+                f"frame {frame} outside instance {self.uid} interval "
+                f"[{self.start}, {self.end})"
+            )
+        if self.duration == 1:
+            return self.entry_box
+        t = (frame - self.start) / (self.duration - 1)
+        return interpolate(self.entry_box, self.exit_box, t)
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """How many instances of a class to synthesise and how they behave.
+
+    Attributes
+    ----------
+    count:
+        Number of distinct instances (at scale 1.0).
+    mean_duration_s:
+        Mean visibility duration in seconds (lognormal across instances).
+    skew:
+        Placement process: ``("uniform",)``, ``("normal", fraction)`` or
+        ``("hotspots", k, fraction)``; see the module docstring.
+    size_range:
+        (min, max) box side length in pixels.
+    duration_sigma_log:
+        Lognormal sigma of durations (0.75 reproduces the paper's §IV-B
+        spread of roughly 100x between shortest and longest).
+    """
+
+    name: str
+    count: int
+    mean_duration_s: float
+    skew: Tuple = ("uniform",)
+    size_range: Tuple[float, float] = (40.0, 220.0)
+    duration_sigma_log: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise DatasetError(f"negative count for class {self.name}")
+        if self.mean_duration_s <= 0:
+            raise DatasetError(f"non-positive duration for class {self.name}")
+        if self.skew[0] not in ("uniform", "normal", "hotspots"):
+            raise DatasetError(f"unknown skew process {self.skew[0]!r}")
+
+
+class SyntheticWorld:
+    """All ground-truth instances of a repository, indexed for fast lookup."""
+
+    def __init__(self, repository: VideoRepository, instances: List[ObjectInstance]):
+        self.repository = repository
+        self.instances = instances
+        self._by_class: Dict[str, List[int]] = {}
+        for idx, inst in enumerate(instances):
+            if idx != inst.uid:
+                raise DatasetError("instance uids must be dense and ordered")
+            self._by_class.setdefault(inst.class_name, []).append(idx)
+        # Per-video interval index sorted by start frame, for visible().
+        self._video_index: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        per_video: Dict[int, List[int]] = {}
+        for idx, inst in enumerate(instances):
+            per_video.setdefault(inst.video, []).append(idx)
+        for video, idxs in per_video.items():
+            ids = np.array(idxs, dtype=np.int64)
+            starts = np.array([instances[i].start for i in idxs], dtype=np.int64)
+            ends = np.array([instances[i].end for i in idxs], dtype=np.int64)
+            order = np.argsort(starts)
+            self._video_index[video] = (starts[order], ends[order], ids[order])
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.instances)
+
+    def class_names(self) -> List[str]:
+        return sorted(self._by_class)
+
+    def instances_of(self, class_name: str) -> List[ObjectInstance]:
+        return [self.instances[i] for i in self._by_class.get(class_name, [])]
+
+    def count_of(self, class_name: str) -> int:
+        """Ground-truth distinct instance count for a class (the recall
+        denominator of §V-A)."""
+        return len(self._by_class.get(class_name, []))
+
+    def visible(self, video: int, frame: int) -> List[ObjectInstance]:
+        """Instances (any class) visible at (video, frame)."""
+        index = self._video_index.get(video)
+        if index is None:
+            return []
+        starts, ends, ids = index
+        hi = np.searchsorted(starts, frame, side="right")
+        active = ends[:hi] > frame
+        return [self.instances[int(i)] for i in ids[:hi][active]]
+
+    def presence_mask(self, class_name: str) -> np.ndarray:
+        """Boolean mask over global frames: is any instance of the class
+        visible? (Used to synthesise proxy-model scores.)"""
+        mask_diff = np.zeros(self.repository.total_frames + 1, dtype=np.int32)
+        for inst in self.instances_of(class_name):
+            mask_diff[inst.global_start] += 1
+            mask_diff[inst.global_end] -= 1
+        return np.cumsum(mask_diff[:-1]) > 0
+
+    def chunk_counts(self, class_name: str, bounds: np.ndarray) -> np.ndarray:
+        """Instances of a class per chunk, by global midpoint (Figure 6)."""
+        bounds = np.asarray(bounds, dtype=np.int64)
+        mids = np.array(
+            [inst.global_midpoint for inst in self.instances_of(class_name)],
+            dtype=np.int64,
+        )
+        if mids.size == 0:
+            return np.zeros(bounds.size - 1, dtype=np.int64)
+        idx = np.clip(
+            np.searchsorted(bounds, mids, side="right") - 1, 0, bounds.size - 2
+        )
+        return np.bincount(idx, minlength=bounds.size - 1)
+
+    def chunk_probabilities(self, class_name: str, bounds: np.ndarray) -> np.ndarray:
+        """Conditional p_{ij} matrix for one class (feeds Eq. IV.1)."""
+        bounds = np.asarray(bounds, dtype=np.int64)
+        instances = self.instances_of(class_name)
+        starts = np.array([i.global_start for i in instances], dtype=np.int64)
+        ends = np.array([i.global_end for i in instances], dtype=np.int64)
+        lows = np.maximum(starts[:, None], bounds[None, :-1])
+        highs = np.minimum(ends[:, None], bounds[None, 1:])
+        overlap = np.clip(highs - lows, 0, None).astype(float)
+        widths = (bounds[1:] - bounds[:-1]).astype(float)
+        return overlap / widths[None, :]
+
+
+class SyntheticWorldBuilder:
+    """Places instances of each class spec into a repository."""
+
+    def __init__(self, repository: VideoRepository, rngs: RngFactory):
+        self.repository = repository
+        self.rngs = rngs
+        self._specs: List[ClassSpec] = []
+
+    def add_class(self, spec: ClassSpec) -> "SyntheticWorldBuilder":
+        self._specs.append(spec)
+        return self
+
+    def build(self) -> SyntheticWorld:
+        instances: List[ObjectInstance] = []
+        uid = 0
+        for spec in self._specs:
+            rng = self.rngs.stream("class", spec.name)
+            for inst in self._place_class(spec, rng, uid):
+                instances.append(inst)
+                uid += 1
+        return SyntheticWorld(self.repository, instances)
+
+    # -- internals ---------------------------------------------------------
+
+    def _place_class(
+        self, spec: ClassSpec, rng: np.random.Generator, next_uid: int
+    ):
+        if spec.count == 0:
+            return
+        total = self.repository.total_frames
+        mids = self._midpoints(spec, rng, total)
+        # Mean fps across videos converts second-durations to frames.
+        fps = self.repository.videos[0].fps
+        durations = lognormal_durations(
+            spec.count, spec.mean_duration_s * fps, rng, spec.duration_sigma_log
+        ).astype(np.int64)
+        durations = np.maximum(durations, 2)
+        for offset in range(spec.count):
+            mid = int(mids[offset])
+            video, frame = self.repository.locate(mid)
+            video_frames = self.repository.videos[video].num_frames
+            duration = min(int(durations[offset]), video_frames)
+            start = frame - duration // 2
+            start = int(np.clip(start, 0, video_frames - duration))
+            end = start + duration
+            entry, exit_ = self._trajectory(spec, rng, video)
+            yield ObjectInstance(
+                uid=next_uid + offset,
+                class_name=spec.name,
+                video=video,
+                start=start,
+                end=end,
+                entry_box=entry,
+                exit_box=exit_,
+                global_start=self.repository.global_index(video, start),
+            )
+
+    def _midpoints(
+        self, spec: ClassSpec, rng: np.random.Generator, total: int
+    ) -> np.ndarray:
+        kind = spec.skew[0]
+        if kind == "uniform":
+            mids = rng.uniform(0, total, size=spec.count)
+        elif kind == "normal":
+            fraction = float(spec.skew[1])
+            if not 0 < fraction <= 1:
+                raise DatasetError("normal skew fraction must lie in (0, 1]")
+            sigma = fraction * total / (2 * _Z_95)
+            mids = rng.normal(total / 2.0, sigma, size=spec.count)
+        else:  # hotspots
+            k = int(spec.skew[1])
+            fraction = float(spec.skew[2])
+            if k < 1 or not 0 < fraction <= 1:
+                raise DatasetError("hotspots need k >= 1 and fraction in (0, 1]")
+            centers = rng.uniform(0, total, size=k)
+            sigma = fraction * total / (2 * _Z_95 * k)
+            choice = rng.integers(0, k, size=spec.count)
+            mids = rng.normal(centers[choice], sigma)
+        return np.clip(mids, 0, total - 1).astype(np.int64)
+
+    def _trajectory(
+        self, spec: ClassSpec, rng: np.random.Generator, video: int
+    ) -> Tuple[BoundingBox, BoundingBox]:
+        meta = self.repository.videos[video]
+        width, height = float(meta.width), float(meta.height)
+        lo, hi = spec.size_range
+        size_entry = rng.uniform(lo, hi)
+        size_exit = size_entry * rng.uniform(0.6, 1.6)
+        aspect = rng.uniform(0.5, 1.5)
+
+        def sample_box(size: float) -> BoundingBox:
+            w = size * aspect
+            h = size
+            cx = rng.uniform(w / 2, max(width - w / 2, w / 2 + 1))
+            cy = rng.uniform(h / 2, max(height - h / 2, h / 2 + 1))
+            return BoundingBox(cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2)
+
+        entry = sample_box(size_entry)
+        # Exit near the entry for slow objects, across the frame for fast:
+        # a bounded random displacement keeps IoU matching meaningful.
+        drift = rng.uniform(0.1, 0.9)
+        target = sample_box(size_exit)
+        exit_ = interpolate(entry, target, drift).clipped(width, height)
+        return entry.clipped(width, height), exit_
+
+
+def build_world(
+    repository: VideoRepository,
+    specs: Sequence[ClassSpec],
+    seed: int = 0,
+) -> SyntheticWorld:
+    """Convenience: build a world from class specs with one seed."""
+    builder = SyntheticWorldBuilder(repository, RngFactory(seed).child("world"))
+    for spec in specs:
+        builder.add_class(spec)
+    return builder.build()

@@ -1,0 +1,151 @@
+"""Videos and video repositories: the addressable universe of frames.
+
+A :class:`VideoRepository` is "the video data, either a single video or a
+collection of files" of Algorithm 1's inputs. Frames are addressed two ways:
+
+* ``(video_index, frame_index)`` — how the decoder and detector see them;
+* a single *global frame index* over the concatenation of all videos — how
+  chunking, sampling orders and instance placement see them.
+
+The repository provides the bijection between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class Video:
+    """Metadata for one video file (no pixels — this substrate is synthetic)."""
+
+    name: str
+    num_frames: int
+    fps: float = 30.0
+    width: int = 1920
+    height: int = 1080
+
+    def __post_init__(self) -> None:
+        if self.num_frames <= 0:
+            raise DatasetError(f"video {self.name!r} must have frames")
+        if self.fps <= 0:
+            raise DatasetError(f"video {self.name!r} must have positive fps")
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.num_frames / self.fps
+
+
+class VideoRepository:
+    """An ordered collection of videos with global frame addressing."""
+
+    def __init__(self, videos: Sequence[Video]):
+        if not videos:
+            raise DatasetError("repository needs at least one video")
+        self.videos: List[Video] = list(videos)
+        self._offsets = np.concatenate(
+            [[0], np.cumsum([v.num_frames for v in self.videos])]
+        ).astype(np.int64)
+
+    @property
+    def num_videos(self) -> int:
+        return len(self.videos)
+
+    @property
+    def total_frames(self) -> int:
+        return int(self._offsets[-1])
+
+    @property
+    def total_hours(self) -> float:
+        return sum(v.duration_seconds for v in self.videos) / 3600.0
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """Global frame offset of each video (length num_videos + 1)."""
+        return self._offsets
+
+    def global_index(self, video: int, frame: int) -> int:
+        """Map (video, frame) to the global frame index."""
+        self._check(video, frame)
+        return int(self._offsets[video]) + int(frame)
+
+    def locate(self, global_frame: int) -> Tuple[int, int]:
+        """Map a global frame index back to (video, frame)."""
+        if not 0 <= global_frame < self.total_frames:
+            raise DatasetError(
+                f"global frame {global_frame} outside [0, {self.total_frames})"
+            )
+        video = int(np.searchsorted(self._offsets, global_frame, side="right") - 1)
+        return video, int(global_frame - self._offsets[video])
+
+    def locate_many(self, global_frames: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`locate`."""
+        frames = np.asarray(global_frames, dtype=np.int64)
+        videos = np.searchsorted(self._offsets, frames, side="right") - 1
+        return videos, frames - self._offsets[videos]
+
+    def iter_videos(self) -> Iterator[Tuple[int, Video]]:
+        return enumerate(self.videos)
+
+    def _check(self, video: int, frame: int) -> None:
+        if not 0 <= video < self.num_videos:
+            raise DatasetError(f"video index {video} out of range")
+        if not 0 <= frame < self.videos[video].num_frames:
+            raise DatasetError(
+                f"frame {frame} outside video {video} "
+                f"({self.videos[video].num_frames} frames)"
+            )
+
+
+def single_camera_repository(
+    name: str, hours: float, fps: float = 30.0, segment_minutes: float = 60.0
+) -> VideoRepository:
+    """A fixed camera recording ``hours`` of video in fixed-length files.
+
+    Static deployments (the paper's amsterdam/archie/night-street) save
+    video in fixed-duration segments; the segment length has no effect on
+    sampling (chunking is separate) but keeps the file model honest.
+    """
+    if hours <= 0:
+        raise DatasetError("hours must be positive")
+    total_frames = int(round(hours * 3600 * fps))
+    seg_frames = max(int(round(segment_minutes * 60 * fps)), 1)
+    videos = []
+    start = 0
+    index = 0
+    while start < total_frames:
+        frames = min(seg_frames, total_frames - start)
+        videos.append(Video(name=f"{name}-{index:04d}", num_frames=frames, fps=fps))
+        start += frames
+        index += 1
+    return VideoRepository(videos)
+
+
+def clip_collection_repository(
+    name: str,
+    num_clips: int,
+    clip_frames: int,
+    fps: float = 30.0,
+    frame_jitter: int = 0,
+    rng: np.random.Generator | None = None,
+) -> VideoRepository:
+    """Many short clips (the BDD-style repositories).
+
+    ``frame_jitter`` varies clip lengths uniformly by ±jitter frames, like
+    real dashcam clip datasets where clips are almost but not exactly the
+    same length.
+    """
+    if num_clips <= 0 or clip_frames <= 0:
+        raise DatasetError("clip counts and lengths must be positive")
+    videos = []
+    for index in range(num_clips):
+        frames = clip_frames
+        if frame_jitter and rng is not None:
+            frames = max(1, clip_frames + int(rng.integers(-frame_jitter, frame_jitter + 1)))
+        videos.append(Video(name=f"{name}-{index:05d}", num_frames=frames, fps=fps))
+    return VideoRepository(videos)

@@ -1,0 +1,55 @@
+"""Tests for the GPU-batching cost model and the batch-time ablation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import ablations
+from repro.query.cost import CostModel
+
+
+class TestBatchedSampleCost:
+    def test_batch_one_equals_single(self):
+        model = CostModel(detector_fps=20.0)
+        assert model.batched_sample_cost(1) == pytest.approx(1 / 20)
+
+    def test_monotone_decreasing_in_batch(self):
+        model = CostModel(detector_fps=20.0)
+        costs = [model.batched_sample_cost(b) for b in (1, 2, 8, 64, 1024)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_asymptote_is_marginal_fraction(self):
+        model = CostModel(detector_fps=20.0)
+        limit = model.batched_sample_cost(10**6, marginal_fraction=0.4)
+        assert limit == pytest.approx(0.4 / 20, rel=1e-3)
+
+    def test_speedup_ceiling(self):
+        model = CostModel(detector_fps=20.0)
+        speedup = model.batched_sample_cost(1) / model.batched_sample_cost(10**6)
+        assert speedup == pytest.approx(2.5, rel=1e-3)
+
+    def test_validation(self):
+        model = CostModel()
+        with pytest.raises(ConfigError):
+            model.batched_sample_cost(0)
+        with pytest.raises(ConfigError):
+            model.batched_sample_cost(8, marginal_fraction=0.0)
+        with pytest.raises(ConfigError):
+            model.batched_sample_cost(8, marginal_fraction=1.5)
+
+
+class TestBatchTimeAblation:
+    def test_batching_wins_on_time(self):
+        """§III-F: despite costing samples, batching buys wall-clock time."""
+        config = ablations.AblationConfig(
+            num_instances=400,
+            total_frames=400_000,
+            num_chunks=16,
+            runs=3,
+            frame_budget=2500,
+            target_results=150,
+        )
+        result = ablations.batch_time_ablation(config)
+        t1 = result["batch=1 seconds"]
+        t64 = result["batch=64 seconds"]
+        assert t1 is not None and t64 is not None
+        assert t64 < t1  # throughput gain outweighs sample inefficiency

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_query_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--object", "car"])
+
+    def test_experiment_name_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestListDatasets:
+    def test_lists_all_six(self):
+        code, text = run_cli("list-datasets")
+        assert code == 0
+        for name in ("dashcam", "bdd1k", "bdd_mot", "amsterdam", "archie",
+                     "night_street"):
+            assert name in text
+
+
+class TestQuery:
+    def test_basic_query(self):
+        code, text = run_cli(
+            "query", "--dataset", "dashcam", "--object", "traffic light",
+            "--limit", "5", "--scale", "0.02",
+        )
+        assert code == 0
+        assert "distinct results" in text
+        assert "video" in text
+
+    def test_default_limit_applied(self):
+        code, text = run_cli(
+            "query", "--dataset", "dashcam", "--object", "person",
+            "--scale", "0.02",
+        )
+        assert code == 0
+        assert "distinct results" in text
+
+    @pytest.mark.parametrize("method", ["random", "exsample_fusion"])
+    def test_other_methods(self, method):
+        code, text = run_cli(
+            "query", "--dataset", "dashcam", "--object", "person",
+            "--limit", "3", "--scale", "0.02", "--method", method,
+        )
+        assert code == 0
+
+
+class TestCompare:
+    def test_compare_all_methods(self):
+        code, text = run_cli(
+            "compare", "--dataset", "dashcam", "--object", "traffic light",
+            "--recall", "0.3", "--scale", "0.02",
+        )
+        assert code == 0
+        for method in ("exsample", "random", "proxy", "oracle"):
+            assert method in text
+
+
+class TestExperimentAndAblation:
+    def test_fig6_experiment_runs(self, monkeypatch):
+        # fig6 is the cheapest full-artifact harness; shrink it further by
+        # monkeypatching its quick config.
+        from repro.experiments import fig6 as fig6_mod
+
+        monkeypatch.setattr(
+            fig6_mod.Fig6Config, "quick",
+            classmethod(lambda cls: cls(scale=0.02, trials=1)),
+        )
+        code, text = run_cli("experiment", "fig6")
+        assert code == 0
+        assert "Figure 6" in text
+
+    def test_ablation_runs(self, monkeypatch):
+        from repro.experiments import ablations as abl
+
+        monkeypatch.setattr(
+            abl.AblationConfig, "quick",
+            classmethod(
+                lambda cls: cls(
+                    num_instances=150, total_frames=150_000, num_chunks=8,
+                    runs=2, frame_budget=500, target_results=50,
+                )
+            ),
+        )
+        code, text = run_cli("ablation", "batch")
+        assert code == 0
+        assert "batch=1" in text

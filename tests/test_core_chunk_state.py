@@ -1,0 +1,142 @@
+"""Tests for per-chunk statistics, incl. the batched-update equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunk_state import ChunkStatistics
+from repro.errors import ConfigError
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        stats = ChunkStatistics([10, 20, 30])
+        assert stats.num_chunks == 3
+        assert stats.total_samples == 0
+        assert np.all(stats.active)
+        assert not stats.exhausted
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            ChunkStatistics([])
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ConfigError):
+            ChunkStatistics([5, -1])
+
+    def test_zero_size_chunk_starts_inactive(self):
+        stats = ChunkStatistics([0, 5])
+        assert not stats.active[0]
+        assert stats.active[1]
+
+
+class TestRecord:
+    def test_algorithm1_update(self):
+        stats = ChunkStatistics([100])
+        stats.record(0, d0=2, d1=1)
+        assert stats.n1[0] == 1  # += d0 - d1
+        assert stats.n[0] == 1
+
+    def test_n1_can_go_negative(self):
+        """Cross-chunk re-sightings legitimately drive raw N1 below zero."""
+        stats = ChunkStatistics([100])
+        stats.record(0, d0=0, d1=2)
+        assert stats.n1[0] == -2
+
+    def test_exhaustion_enforced(self):
+        stats = ChunkStatistics([1])
+        stats.record(0, 0, 0)
+        assert stats.exhausted
+        with pytest.raises(ConfigError):
+            stats.record(0, 0, 0)
+
+    def test_chunk_bounds_checked(self):
+        stats = ChunkStatistics([5])
+        with pytest.raises(ConfigError):
+            stats.record(1, 0, 0)
+        with pytest.raises(ConfigError):
+            stats.record(-1, 0, 0)
+
+    def test_negative_counts_rejected(self):
+        stats = ChunkStatistics([5])
+        with pytest.raises(ConfigError):
+            stats.record(0, d0=-1, d1=0)
+
+
+class TestBatchEquivalence:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=0, max_value=4),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60)
+    def test_batch_equals_sequential(self, updates):
+        """§III-F: batched updates are commutative = identical final state."""
+        sizes = [50, 50, 50, 50]
+        sequential = ChunkStatistics(sizes)
+        for chunk, d0, d1 in updates:
+            sequential.record(chunk, d0, d1)
+        batched = ChunkStatistics(sizes)
+        chunks = np.array([u[0] for u in updates])
+        d0s = np.array([u[1] for u in updates], dtype=float)
+        d1s = np.array([u[2] for u in updates], dtype=float)
+        batched.apply_batch(chunks, d0s, d1s)
+        assert np.array_equal(sequential.n, batched.n)
+        assert np.allclose(sequential.n1, batched.n1)
+
+    def test_batch_order_irrelevant(self):
+        sizes = [10, 10]
+        a = ChunkStatistics(sizes)
+        b = ChunkStatistics(sizes)
+        chunks = np.array([0, 1, 0])
+        d0s = np.array([1.0, 2.0, 0.0])
+        d1s = np.array([0.0, 1.0, 1.0])
+        a.apply_batch(chunks, d0s, d1s)
+        b.apply_batch(chunks[::-1].copy(), d0s[::-1].copy(), d1s[::-1].copy())
+        assert np.array_equal(a.n, b.n)
+        assert np.allclose(a.n1, b.n1)
+
+    def test_batch_overdraw_rejected(self):
+        stats = ChunkStatistics([1])
+        with pytest.raises(ConfigError):
+            stats.apply_batch(
+                np.array([0, 0]), np.zeros(2), np.zeros(2)
+            )
+
+    def test_batch_shape_mismatch(self):
+        stats = ChunkStatistics([5])
+        with pytest.raises(ConfigError):
+            stats.apply_batch(np.array([0]), np.zeros(2), np.zeros(1))
+
+
+class TestDerivedQuantities:
+    def test_point_estimates(self):
+        stats = ChunkStatistics([10, 10])
+        stats.record(0, 2, 0)
+        stats.record(0, 0, 0)
+        estimates = stats.point_estimates()
+        assert estimates[0] == pytest.approx(1.0)  # N1=2, n=2
+        assert estimates[1] == 0.0  # unsampled
+
+    def test_empirical_weights_uniform_before_sampling(self):
+        stats = ChunkStatistics([10, 10])
+        assert stats.empirical_weights() == pytest.approx([0.5, 0.5])
+
+    def test_empirical_weights_track_allocation(self):
+        stats = ChunkStatistics([10, 10])
+        for _ in range(3):
+            stats.record(0, 0, 0)
+        stats.record(1, 0, 0)
+        assert stats.empirical_weights() == pytest.approx([0.75, 0.25])
+
+    def test_remaining(self):
+        stats = ChunkStatistics([2, 3])
+        stats.record(0, 0, 0)
+        assert list(stats.remaining) == [1, 3]

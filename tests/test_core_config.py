@@ -1,0 +1,65 @@
+"""Tests for ExSampleConfig validation."""
+
+import pytest
+
+from repro.core.config import PAPER_ALPHA0, PAPER_BETA0, ExSampleConfig
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_priors(self):
+        config = ExSampleConfig()
+        assert config.alpha0 == PAPER_ALPHA0 == 0.1
+        assert config.beta0 == PAPER_BETA0 == 1.0
+
+    def test_paper_policy_and_order(self):
+        config = ExSampleConfig()
+        assert config.policy == "thompson"
+        assert config.within_chunk_order == "randomplus"
+        assert config.batch_size == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize("alpha0", [0.0, -0.1])
+    def test_rejects_nonpositive_alpha0(self, alpha0):
+        with pytest.raises(ConfigError):
+            ExSampleConfig(alpha0=alpha0)
+
+    @pytest.mark.parametrize("beta0", [0.0, -1.0])
+    def test_rejects_nonpositive_beta0(self, beta0):
+        with pytest.raises(ConfigError):
+            ExSampleConfig(beta0=beta0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigError, match="policy"):
+            ExSampleConfig(policy="ucb1")
+
+    def test_rejects_unknown_order(self):
+        with pytest.raises(ConfigError, match="order"):
+            ExSampleConfig(within_chunk_order="zigzag")
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ConfigError):
+            ExSampleConfig(batch_size=0)
+
+    def test_rejects_bad_ucb_horizon(self):
+        with pytest.raises(ConfigError):
+            ExSampleConfig(ucb_horizon=0)
+
+    @pytest.mark.parametrize(
+        "policy", ["thompson", "bayes_ucb", "greedy", "uniform"]
+    )
+    def test_accepts_all_policies(self, policy):
+        assert ExSampleConfig(policy=policy).policy == policy
+
+
+class TestReplace:
+    def test_replace_returns_new(self):
+        base = ExSampleConfig()
+        changed = base.replace(batch_size=8)
+        assert changed.batch_size == 8
+        assert base.batch_size == 1
+
+    def test_replace_validates(self):
+        with pytest.raises(ConfigError):
+            ExSampleConfig().replace(alpha0=-1)

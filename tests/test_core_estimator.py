@@ -1,0 +1,178 @@
+"""Tests for the R-hat estimator: identities, bounds, SeenCounter semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import (
+    SeenCounter,
+    bias_bound_maxp,
+    bias_bound_moments,
+    expected_bias,
+    expected_n1,
+    expected_r,
+    pi_seen_at,
+    point_estimate,
+    poisson_lambda,
+    variance_bound,
+)
+
+probabilities = st.lists(
+    st.floats(min_value=1e-6, max_value=0.4), min_size=1, max_size=50
+).map(np.array)
+
+
+class TestPointEstimate:
+    def test_zero_before_samples(self):
+        assert point_estimate(0, 0) == 0.0
+
+    def test_basic_ratio(self):
+        assert point_estimate(5, 100) == pytest.approx(0.05)
+
+
+class TestTheoreticalIdentities:
+    def test_pi_at_zero_is_p(self):
+        p = np.array([0.1, 0.2])
+        assert np.allclose(pi_seen_at(p, 0), p)
+
+    def test_pi_decreasing_in_n(self):
+        p = np.array([0.05, 0.2])
+        for n in range(5):
+            assert np.all(pi_seen_at(p, n + 1) <= pi_seen_at(p, n))
+
+    def test_expected_r_at_zero(self):
+        p = np.array([0.1, 0.3])
+        assert expected_r(p, 0) == pytest.approx(0.4)
+
+    @given(probabilities, st.integers(min_value=1, max_value=200))
+    @settings(max_examples=50)
+    def test_bias_identity(self, p, n):
+        """E[N1/n] - E[R(n+1)] must equal Σ p·π(n) exactly."""
+        lhs = expected_n1(p, n) / n - expected_r(p, n)
+        assert lhs == pytest.approx(expected_bias(p, n), rel=1e-9, abs=1e-12)
+
+    @given(probabilities, st.integers(min_value=1, max_value=200))
+    @settings(max_examples=50)
+    def test_bias_nonnegative(self, p, n):
+        assert expected_bias(p, n) >= 0
+
+    @given(probabilities, st.integers(min_value=1, max_value=200))
+    @settings(max_examples=50)
+    def test_bias_bound_maxp(self, p, n):
+        """Relative bias <= max p_i (left inequality of Eq. III.2)."""
+        estimate = expected_n1(p, n) / n
+        if estimate <= 1e-12:
+            return
+        relative = expected_bias(p, n) / estimate
+        assert relative <= bias_bound_maxp(p) + 1e-9
+
+    @given(probabilities, st.integers(min_value=1, max_value=200))
+    @settings(max_examples=50)
+    def test_bias_bound_moments(self, p, n):
+        """Relative bias <= sqrt(N)(mu_p + sigma_p) (right ineq. of Eq. III.2)."""
+        estimate = expected_n1(p, n) / n
+        if estimate <= 1e-12:
+            return
+        relative = expected_bias(p, n) / estimate
+        assert relative <= bias_bound_moments(p) + 1e-9
+
+    @given(probabilities, st.integers(min_value=1, max_value=100))
+    @settings(max_examples=50)
+    def test_poisson_lambda_equals_expected_n1(self, p, n):
+        assert poisson_lambda(p, n) == pytest.approx(expected_n1(p, n))
+
+    def test_variance_bound_infinite_before_samples(self):
+        assert variance_bound(np.array([0.1]), 0) == np.inf
+
+    @given(probabilities, st.integers(min_value=1, max_value=100))
+    @settings(max_examples=30)
+    def test_variance_bound_formula(self, p, n):
+        assert variance_bound(p, n) == pytest.approx(
+            expected_n1(p, n) / (n * n)
+        )
+
+
+class TestVarianceBoundEmpirically:
+    def test_bound_holds_monte_carlo(self):
+        """Var[N1/n] <= E[N1/n]/n, measured over simulated runs."""
+        rng = np.random.default_rng(0)
+        p = rng.uniform(0.001, 0.05, size=50)
+        n = 60
+        estimates = []
+        for _ in range(3000):
+            counts = rng.binomial(n, p)
+            estimates.append(np.sum(counts == 1) / n)
+        measured_var = float(np.var(estimates))
+        bound = expected_n1(p, n) / (n * n)
+        assert measured_var <= bound * 1.15  # small MC tolerance
+
+
+class TestSeenCounter:
+    def test_first_sighting_is_d0(self):
+        counter = SeenCounter()
+        d0, d1 = counter.observe_frame([7])
+        assert (d0, d1) == (1, 0)
+        assert counter.n1 == 1
+        assert counter.distinct == 1
+
+    def test_second_sighting_is_d1(self):
+        counter = SeenCounter()
+        counter.observe_frame([7])
+        d0, d1 = counter.observe_frame([7])
+        assert (d0, d1) == (0, 1)
+        assert counter.n1 == 0  # moved out of the seen-once bucket
+
+    def test_third_sighting_is_neither(self):
+        counter = SeenCounter()
+        counter.observe_frame([7])
+        counter.observe_frame([7])
+        d0, d1 = counter.observe_frame([7])
+        assert (d0, d1) == (0, 0)
+        assert counter.n1 == 0
+
+    def test_duplicates_within_frame_count_once(self):
+        counter = SeenCounter()
+        d0, d1 = counter.observe_frame([3, 3, 3])
+        assert (d0, d1) == (1, 0)
+
+    def test_mixed_frame(self):
+        counter = SeenCounter()
+        counter.observe_frame([1])
+        counter.observe_frame([2])
+        # 1 is re-seen (d1), 3 is new (d0), 2 is absent.
+        d0, d1 = counter.observe_frame([1, 3])
+        assert (d0, d1) == (1, 1)
+        assert counter.distinct == 3
+
+    def test_estimate_tracks_n1_over_n(self):
+        counter = SeenCounter()
+        counter.observe_frame([1])
+        counter.observe_frame([])
+        assert counter.estimate == pytest.approx(0.5)
+
+    def test_n_counts_frames_not_instances(self):
+        counter = SeenCounter()
+        counter.observe_frame([1, 2, 3])
+        assert counter.n == 1
+
+    def test_times_seen(self):
+        counter = SeenCounter()
+        counter.observe_frame([4])
+        counter.observe_frame([4])
+        assert counter.times_seen(4) == 2
+        assert counter.times_seen(99) == 0
+
+    def test_estimate_converges_to_expected(self):
+        """On a Bernoulli stream the counter's N1 matches theory."""
+        rng = np.random.default_rng(1)
+        p = np.full(100, 0.02)
+        n = 200
+        n1_values = []
+        for _ in range(300):
+            counter = SeenCounter()
+            for _ in range(n):
+                present = np.flatnonzero(rng.random(100) < p)
+                counter.observe_frame(present)
+            n1_values.append(counter.n1)
+        assert np.mean(n1_values) == pytest.approx(expected_n1(p, n), rel=0.1)

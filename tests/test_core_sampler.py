@@ -1,0 +1,200 @@
+"""Tests for SearchTrace and the ExSample search loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExSampleConfig
+from repro.core.environment import CallbackEnvironment, Observation
+from repro.core.sampler import ExSampleSearcher, SearchTrace, Searcher
+from repro.errors import ConfigError
+
+
+def make_trace(d0s, costs=None, upfront=0.0, results=None):
+    n = len(d0s)
+    return SearchTrace(
+        chunks=np.zeros(n, dtype=np.int64),
+        frames=np.arange(n, dtype=np.int64),
+        d0s=np.asarray(d0s, dtype=np.int64),
+        d1s=np.zeros(n, dtype=np.int64),
+        costs=np.asarray(costs if costs is not None else np.ones(n), dtype=float),
+        results=results if results is not None else [],
+        upfront_cost=upfront,
+    )
+
+
+class TestSearchTrace:
+    def test_counts(self):
+        trace = make_trace([1, 0, 2])
+        assert trace.num_samples == 3
+        assert trace.num_results == 3
+
+    def test_discovery_curve(self):
+        trace = make_trace([1, 0, 2])
+        assert list(trace.discovery_curve()) == [1, 1, 3]
+
+    def test_samples_to_results(self):
+        trace = make_trace([0, 1, 0, 1, 1])
+        assert trace.samples_to_results(0) == 0
+        assert trace.samples_to_results(1) == 2
+        assert trace.samples_to_results(2) == 4
+        assert trace.samples_to_results(3) == 5
+        assert trace.samples_to_results(4) is None
+
+    def test_cost_to_results_includes_upfront(self):
+        trace = make_trace([0, 1], costs=[2.0, 3.0], upfront=10.0)
+        assert trace.cost_to_results(1) == pytest.approx(15.0)
+        assert trace.cost_to_results(0) == pytest.approx(10.0)
+        assert trace.total_cost == pytest.approx(15.0)
+
+    def test_results_at_samples_saturates(self):
+        trace = make_trace([1, 1])
+        values = trace.results_at_samples([1, 2, 100])
+        assert list(values) == [1, 2, 2]
+
+    def test_cost_curve_offset(self):
+        trace = make_trace([0, 0], costs=[1.0, 1.0], upfront=5.0)
+        assert list(trace.cost_curve()) == [6.0, 7.0]
+
+
+class _ScriptedSearcher(Searcher):
+    """Visits chunk 0 frames in order; used to test the base run loop."""
+
+    name = "scripted"
+
+    def __init__(self, env, rng=0):
+        super().__init__(env, rng)
+        self._cursor = 0
+
+    def pick_batch(self):
+        if self._cursor >= self.sizes[0]:
+            return []
+        self._cursor += 1
+        return [(0, self._cursor - 1)]
+
+
+class TestBaseRunLoop:
+    def _env(self, hits=(2, 5), size=10, cost=1.0):
+        def observe(chunk, frame):
+            found = int(frame in hits)
+            return Observation(d0=found, d1=0, results=[frame] * found, cost=cost)
+
+        return CallbackEnvironment([size], observe)
+
+    def test_result_limit_stops(self):
+        searcher = _ScriptedSearcher(self._env())
+        trace = searcher.run(result_limit=1)
+        assert trace.num_results == 1
+        assert trace.num_samples == 3  # frames 0,1,2
+
+    def test_frame_budget_stops(self):
+        searcher = _ScriptedSearcher(self._env())
+        trace = searcher.run(frame_budget=4)
+        assert trace.num_samples == 4
+
+    def test_cost_budget_stops(self):
+        searcher = _ScriptedSearcher(self._env(cost=2.0))
+        trace = searcher.run(cost_budget=5.0)
+        assert trace.num_samples == 3  # stops once cumulative cost >= 5
+
+    def test_runs_to_exhaustion_without_limits(self):
+        searcher = _ScriptedSearcher(self._env())
+        trace = searcher.run()
+        assert trace.num_samples == 10
+
+    def test_distinct_real_limit(self):
+        # Every even frame re-reports instance 1; odd frames report new ids.
+        def observe(chunk, frame):
+            uid = 1 if frame % 2 == 0 else 100 + frame
+            return Observation(d0=1, d1=0, results=[uid], cost=1.0)
+
+        env = CallbackEnvironment([10], observe)
+        searcher = _ScriptedSearcher(env)
+        trace = searcher.run(distinct_real_limit=3)
+        # frames 0(uid1),1(uid101),2(uid1 dup),3(uid103) -> 3 distinct
+        assert trace.num_samples == 4
+
+
+class TestExSampleSearcher:
+    def _skewed_env(self, good_chunk=1, n_chunks=4, size=200, hit_rate=0.25):
+        def observe(chunk, frame):
+            found = int(chunk == good_chunk and frame % int(1 / hit_rate) == 0)
+            return Observation(
+                d0=found, d1=0,
+                results=[chunk * size + frame] * found, cost=1.0,
+            )
+
+        return CallbackEnvironment([size] * n_chunks, observe)
+
+    def test_concentrates_on_productive_chunk(self):
+        env = self._skewed_env()
+        searcher = ExSampleSearcher(env, ExSampleConfig(seed=0))
+        trace = searcher.run(result_limit=25)
+        counts = np.bincount(trace.chunks, minlength=4)
+        assert counts[1] > counts.sum() * 0.5
+
+    def test_batched_mode_runs(self):
+        env = self._skewed_env()
+        searcher = ExSampleSearcher(env, ExSampleConfig(seed=0, batch_size=8))
+        trace = searcher.run(result_limit=20)
+        assert trace.num_results >= 20
+        counts = np.bincount(trace.chunks, minlength=4)
+        assert counts[1] > counts.sum() * 0.4
+
+    def test_exhausts_cleanly(self):
+        env = self._skewed_env(size=20)
+        searcher = ExSampleSearcher(env, ExSampleConfig(seed=1))
+        trace = searcher.run()  # no limits: drains everything
+        assert trace.num_samples == 80
+        # Every frame visited exactly once per chunk.
+        for chunk in range(4):
+            frames = trace.frames[trace.chunks == chunk]
+            assert sorted(frames) == list(range(20))
+
+    def test_belief_clamps_negative_n1(self):
+        env = CallbackEnvironment(
+            [10, 10], lambda c, f: Observation(d0=0, d1=1, results=[], cost=1.0)
+        )
+        searcher = ExSampleSearcher(env, ExSampleConfig(seed=0))
+        searcher.run(frame_budget=10)
+        alphas, betas = searcher.belief_parameters()
+        assert np.all(alphas > 0)
+        assert np.all(betas > 0)
+        # The raw counters do go negative (cross-chunk d1 effect).
+        assert searcher.stats.n1.min() < 0
+
+    def test_point_estimates_exposed(self):
+        env = self._skewed_env()
+        searcher = ExSampleSearcher(env, ExSampleConfig(seed=0))
+        searcher.run(frame_budget=100)
+        estimates = searcher.point_estimates()
+        assert estimates.shape == (4,)
+        assert estimates[1] == max(estimates)
+
+    @pytest.mark.parametrize("policy", ["thompson", "bayes_ucb", "greedy", "uniform"])
+    def test_all_policies_complete(self, policy):
+        env = self._skewed_env()
+        searcher = ExSampleSearcher(env, ExSampleConfig(seed=0, policy=policy))
+        trace = searcher.run(result_limit=10)
+        assert trace.num_results >= 10
+
+    @pytest.mark.parametrize("order", ["randomplus", "uniform", "sequential"])
+    def test_all_orders_complete(self, order):
+        env = self._skewed_env()
+        searcher = ExSampleSearcher(
+            env, ExSampleConfig(seed=0, within_chunk_order=order)
+        )
+        trace = searcher.run(result_limit=10)
+        assert trace.num_results >= 10
+
+    def test_requires_nonempty_chunks(self):
+        env = CallbackEnvironment([], lambda c, f: Observation(0, 0))
+        with pytest.raises(ConfigError):
+            ExSampleSearcher(env, ExSampleConfig(seed=0))
+
+    def test_deterministic_given_seed(self):
+        env_a = self._skewed_env()
+        env_b = self._skewed_env()
+        trace_a = ExSampleSearcher(env_a, ExSampleConfig(seed=5)).run(result_limit=10)
+        trace_b = ExSampleSearcher(env_b, ExSampleConfig(seed=5)).run(result_limit=10)
+        assert np.array_equal(trace_a.chunks, trace_b.chunks)
+        assert np.array_equal(trace_a.frames, trace_b.frames)

@@ -1,0 +1,166 @@
+"""Tests for the footnote-1 cross-chunk accounting (cross_chunk="origin")."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunk_state import ChunkStatistics
+from repro.core.config import ExSampleConfig
+from repro.core.sampler import ExSampleSearcher
+from repro.errors import ConfigError
+from repro.query.engine import QueryEngine
+from repro.query.query import DistinctObjectQuery
+from repro.theory.instances import InstancePopulation
+from repro.theory.temporal_sim import TemporalEnvironment
+from repro.utils.rng import RngFactory
+
+from tests.conftest import make_tiny_dataset
+
+
+@pytest.fixture
+def spanning_population():
+    """One long instance spanning chunks 1-2 plus fillers elsewhere."""
+    return InstancePopulation(
+        starts=np.array([40, 5, 80]),
+        durations=np.array([30, 5, 5]),
+        total_frames=100,
+    )
+
+
+class TestConfig:
+    def test_default_is_local(self):
+        assert ExSampleConfig().cross_chunk == "local"
+
+    def test_origin_accepted(self):
+        assert ExSampleConfig(cross_chunk="origin").cross_chunk == "origin"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            ExSampleConfig(cross_chunk="split")
+
+
+class TestCreditBatch:
+    def test_origin_receives_decrement(self):
+        stats = ChunkStatistics([10, 10])
+        # Frame from chunk 1 finds nothing new but re-sees an object first
+        # discovered in chunk 0.
+        stats.apply_credit_batch(
+            np.array([1]), np.array([0.0]), [[0]]
+        )
+        assert stats.n1[0] == -1.0
+        assert stats.n1[1] == 0.0
+        assert stats.n[1] == 1
+        assert stats.n[0] == 0
+
+    def test_plus_before_minus_keeps_nonnegative(self):
+        stats = ChunkStatistics([10, 10])
+        stats.apply_credit_batch(np.array([0]), np.array([1.0]), [[]])
+        stats.apply_credit_batch(np.array([1]), np.array([0.0]), [[0]])
+        assert stats.n1[0] == 0.0
+        assert np.all(stats.n1 >= 0)
+
+    def test_shape_validation(self):
+        stats = ChunkStatistics([10])
+        with pytest.raises(ConfigError):
+            stats.apply_credit_batch(np.array([0]), np.array([0.0, 1.0]), [[]])
+        with pytest.raises(ConfigError):
+            stats.apply_credit_batch(np.array([0]), np.array([0.0]), [])
+
+    def test_origin_chunk_bounds_checked(self):
+        stats = ChunkStatistics([10])
+        with pytest.raises(ConfigError):
+            stats.apply_credit_batch(np.array([0]), np.array([0.0]), [[5]])
+
+
+class TestTemporalEnvironmentOrigins:
+    def test_origin_is_first_seen_chunk(self, spanning_population):
+        env = TemporalEnvironment.with_even_chunks(spanning_population, 4)
+        first = env.observe(1, 20)   # global 45: instance 0 discovered
+        assert first.d0 == 1
+        second = env.observe(2, 10)  # global 60: instance 0 re-seen
+        assert second.d1 == 1
+        assert second.d1_origin_chunks == [1]
+
+    def test_no_matches_empty_origins(self, spanning_population):
+        env = TemporalEnvironment.with_even_chunks(spanning_population, 4)
+        obs = env.observe(0, 20)  # nothing visible
+        assert obs.d1_origin_chunks == []
+
+
+class TestOriginModeInvariant:
+    def test_raw_n1_never_negative_with_perfect_discriminator(self):
+        """The invariant the adjustment exists to restore: with instance-id
+        deduplication, every per-chunk N1 stays >= 0 at every step."""
+        population = InstancePopulation.place(
+            100, 50_000, 2500, RngFactory(0).stream("pop"),  # long instances
+            skew_fraction=1 / 4,
+        )
+        env = TemporalEnvironment.with_even_chunks(population, 25)
+        searcher = ExSampleSearcher(
+            env, ExSampleConfig(seed=0, cross_chunk="origin"), rng=RngFactory(0)
+        )
+        for _ in range(400):
+            picks = searcher.pick_batch()
+            if not picks:
+                break
+            observations = [env.observe(c, f) for c, f in picks]
+            searcher.update(picks, observations)
+            assert np.all(searcher.stats.n1 >= -1e-9), (
+                "origin mode must keep every per-chunk N1 non-negative"
+            )
+
+    def test_local_mode_can_go_negative_on_same_workload(self):
+        population = InstancePopulation.place(
+            100, 50_000, 2500, RngFactory(0).stream("pop"),
+            skew_fraction=1 / 4,
+        )
+        env = TemporalEnvironment.with_even_chunks(population, 25)
+        searcher = ExSampleSearcher(
+            env, ExSampleConfig(seed=0, cross_chunk="local"), rng=RngFactory(0)
+        )
+        searcher.run(frame_budget=400)
+        assert searcher.stats.n1.min() < 0  # the footnote-1 symptom
+
+    @pytest.mark.parametrize("mode", ["local", "origin"])
+    def test_global_n1_sum_counts_seen_exactly_once(self, mode):
+        """Crediting moves decrements *between* chunks; in both modes the
+        global sum of the N1 counters must equal the number of instances
+        currently seen exactly once (the environment knows the truth)."""
+        population = InstancePopulation.place(
+            80, 20_000, 1500, RngFactory(1).stream("pop"), skew_fraction=1 / 4
+        )
+        env = TemporalEnvironment.with_even_chunks(population, 10)
+        searcher = ExSampleSearcher(
+            env, ExSampleConfig(seed=7, cross_chunk=mode), rng=RngFactory(7)
+        )
+        searcher.run(frame_budget=300)
+        truly_seen_once = sum(
+            1
+            for uid in range(population.count)
+            if env.counter.times_seen(uid) == 1
+        )
+        assert searcher.stats.n1.sum() == pytest.approx(truly_seen_once)
+
+
+class TestEngineOriginMode:
+    def test_end_to_end(self):
+        engine = QueryEngine(make_tiny_dataset(seed=12), seed=12)
+        outcome = engine.run(
+            DistinctObjectQuery("car", limit=8),
+            method="exsample",
+            config=ExSampleConfig(seed=0, cross_chunk="origin"),
+        )
+        assert outcome.num_results >= 8
+
+    def test_comparable_quality_to_local(self):
+        engine = QueryEngine(make_tiny_dataset(seed=12), seed=12)
+        query = DistinctObjectQuery("car", recall_target=0.5)
+        local = engine.run(
+            query, method="exsample",
+            config=ExSampleConfig(seed=0, cross_chunk="local"),
+        )
+        origin = engine.run(
+            query, method="exsample",
+            config=ExSampleConfig(seed=0, cross_chunk="origin"),
+        )
+        assert origin.trace.num_samples < local.trace.num_samples * 4
+        assert local.trace.num_samples < origin.trace.num_samples * 4

@@ -1,0 +1,89 @@
+"""Cross-dataset invariants: properties every built dataset must satisfy.
+
+These are parametrised over all six dataset builders and every class inside
+them — the broad structural safety net underneath the experiment harnesses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detection.proxy import ProxyModel
+from repro.detection.simulated import SimulatedDetector
+from repro.video.datasets import DATASET_BUILDERS, make_dataset
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module", params=sorted(DATASET_BUILDERS))
+def dataset(request):
+    return make_dataset(request.param, scale=SCALE, seed=1)
+
+
+class TestStructuralInvariants:
+    def test_chunks_partition_repository(self, dataset):
+        sizes = dataset.chunk_map.sizes()
+        assert sizes.sum() == dataset.total_frames
+        assert np.all(sizes > 0)
+
+    def test_global_bounds_monotone(self, dataset):
+        bounds = dataset.chunk_map.global_bounds()
+        assert bounds[0] == 0
+        assert bounds[-1] == dataset.total_frames
+        assert np.all(np.diff(bounds) > 0)
+
+    def test_every_instance_inside_its_video(self, dataset):
+        for inst in dataset.world.instances:
+            video = dataset.repository.videos[inst.video]
+            assert 0 <= inst.start < inst.end <= video.num_frames
+
+    def test_global_coordinates_consistent(self, dataset):
+        for inst in dataset.world.instances[:: max(len(dataset.world.instances) // 50, 1)]:
+            expected = dataset.repository.global_index(inst.video, inst.start)
+            assert inst.global_start == expected
+
+    def test_chunk_counts_sum_to_gt(self, dataset):
+        bounds = dataset.chunk_map.global_bounds()
+        for class_name in dataset.classes:
+            counts = dataset.world.chunk_counts(class_name, bounds)
+            assert counts.sum() == dataset.gt_count(class_name)
+
+    def test_chunk_probability_mass_conservation(self, dataset):
+        bounds = dataset.chunk_map.global_bounds()
+        widths = np.diff(bounds).astype(float)
+        for class_name in dataset.classes[:3]:
+            p = dataset.world.chunk_probabilities(class_name, bounds)
+            durations = np.array(
+                [i.duration for i in dataset.world.instances_of(class_name)],
+                dtype=float,
+            )
+            assert p @ widths == pytest.approx(durations)
+
+    def test_presence_mask_density_sane(self, dataset):
+        """Mask density can exceed per-instance duration share (instances
+        overlap) but must never exceed their summed share."""
+        for class_name in dataset.classes[:3]:
+            mask = dataset.world.presence_mask(class_name)
+            durations = sum(
+                i.duration for i in dataset.world.instances_of(class_name)
+            )
+            assert 0 < mask.sum() <= durations
+
+
+class TestSubstratesOverDatasets:
+    def test_detector_deterministic_everywhere(self, dataset):
+        detector_a = SimulatedDetector(dataset.world, seed=5)
+        detector_b = SimulatedDetector(dataset.world, seed=5)
+        rng_frames = np.linspace(
+            0, dataset.repository.videos[0].num_frames - 1, 5
+        ).astype(int)
+        for frame in rng_frames:
+            a = detector_a.detect(0, int(frame))
+            b = detector_b.detect(0, int(frame))
+            assert [d.score for d in a] == [d.score for d in b]
+
+    def test_proxy_scores_cover_dataset(self, dataset):
+        class_name = dataset.classes[0]
+        proxy = ProxyModel(dataset.world, class_name, quality=0.85, seed=2)
+        scores = proxy.score_all()
+        assert scores.shape == (dataset.total_frames,)
+        assert np.isfinite(scores).all()

@@ -1,0 +1,70 @@
+"""Tests for the proxy-model scorer."""
+
+import numpy as np
+import pytest
+
+from repro.detection.proxy import ProxyModel
+from repro.errors import ConfigError
+
+from tests.conftest import make_tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_tiny_dataset(seed=5)
+
+
+class TestScores:
+    def test_covers_all_frames(self, dataset):
+        proxy = ProxyModel(dataset.world, "car", quality=0.85, seed=0)
+        scores = proxy.score_all()
+        assert scores.shape == (dataset.total_frames,)
+        assert np.all((scores > 0) & (scores <= 1))
+
+    def test_cached(self, dataset):
+        proxy = ProxyModel(dataset.world, "car", quality=0.85, seed=0)
+        assert proxy.score_all() is proxy.score_all()
+
+    def test_deterministic(self, dataset):
+        a = ProxyModel(dataset.world, "car", quality=0.85, seed=0).score_all()
+        b = ProxyModel(dataset.world, "car", quality=0.85, seed=0).score_all()
+        assert np.array_equal(a, b)
+
+    def test_positive_frames_score_higher(self, dataset):
+        proxy = ProxyModel(dataset.world, "car", quality=0.9, seed=0)
+        scores = proxy.score_all()
+        present = dataset.world.presence_mask("car")
+        assert present.any() and (~present).any()
+        assert scores[present].mean() > scores[~present].mean()
+
+
+class TestQualityCalibration:
+    @pytest.mark.parametrize("quality", [0.6, 0.8, 0.95])
+    def test_empirical_auc_matches_quality(self, dataset, quality):
+        proxy = ProxyModel(dataset.world, "car", quality=quality, seed=1)
+        assert proxy.empirical_auc() == pytest.approx(quality, abs=0.05)
+
+    def test_useless_proxy(self, dataset):
+        proxy = ProxyModel(dataset.world, "car", quality=0.5, seed=2)
+        assert proxy.empirical_auc() == pytest.approx(0.5, abs=0.05)
+
+    def test_separation_monotone_in_quality(self, dataset):
+        low = ProxyModel(dataset.world, "car", quality=0.6)
+        high = ProxyModel(dataset.world, "car", quality=0.9)
+        assert high.separation > low.separation
+
+
+class TestValidation:
+    def test_rejects_quality_out_of_range(self, dataset):
+        with pytest.raises(ConfigError):
+            ProxyModel(dataset.world, "car", quality=0.4)
+        with pytest.raises(ConfigError):
+            ProxyModel(dataset.world, "car", quality=1.0)
+
+    def test_auc_requires_both_classes(self, dataset):
+        proxy = ProxyModel(dataset.world, "car", quality=0.8, seed=0)
+        # Class with no instances anywhere -> presence mask all False.
+        empty = ProxyModel(dataset.world, "unicorn", quality=0.8, seed=0)
+        with pytest.raises(ConfigError):
+            empty.empirical_auc()
+        assert proxy.empirical_auc() > 0.5

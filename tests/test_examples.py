@@ -1,0 +1,53 @@
+"""Smoke tests: every example script must run end-to-end.
+
+Examples are the first thing a new user executes; breaking one silently is
+worse than breaking an internal module. Each test imports the script as a
+module and runs its ``main()`` with stdout captured (the fusion example is
+exercised at reduced scope elsewhere — it sweeps nine full queries and is
+too slow for the unit suite, so here we only verify it imports and exposes
+the expected entry point).
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart",
+    "rare_object_hunt",
+    "proxy_vs_sampling",
+    "chunk_tuning",
+    "custom_dataset",
+]
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    captured = capsys.readouterr()
+    assert captured.out.strip(), f"{name} produced no output"
+
+
+def test_all_examples_present():
+    names = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert set(FAST_EXAMPLES) <= names
+    assert "fusion_search" in names
+
+
+def test_fusion_example_importable():
+    module = load_example("fusion_search")
+    assert callable(module.main)

@@ -1,0 +1,212 @@
+"""Smoke tests for every experiment harness at miniature scale.
+
+These verify each artifact module runs end-to-end and produces a sane,
+renderable result; the *shape* assertions against the paper live in
+``test_integration.py`` and the benchmark suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablations,
+    default_config,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    table1,
+)
+from repro.experiments.runner import (
+    is_full_scale,
+    median_samples_to,
+    repeated_traces,
+    sample_grid,
+)
+
+
+class TestRunnerHelpers:
+    def test_sample_grid_properties(self):
+        grid = sample_grid(10_000, points=30)
+        assert grid[0] == 1
+        assert grid[-1] == 10_000
+        assert np.all(np.diff(grid) > 0)
+
+    def test_default_config_quick_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not is_full_scale()
+        config = default_config(fig2.Fig2Config)
+        assert config.runs == fig2.Fig2Config.quick().runs
+
+    def test_default_config_full_when_env_set(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert is_full_scale()
+        config = default_config(fig2.Fig2Config)
+        assert config.runs == fig2.Fig2Config.paper().runs
+
+    def test_median_samples_to_censoring(self):
+        from repro.core.sampler import SearchTrace
+
+        def trace(d0s):
+            n = len(d0s)
+            return SearchTrace(
+                chunks=np.zeros(n, dtype=np.int64),
+                frames=np.arange(n, dtype=np.int64),
+                d0s=np.asarray(d0s, dtype=np.int64),
+                d1s=np.zeros(n, dtype=np.int64),
+                costs=np.ones(n),
+            )
+
+        reached = trace([1, 1])
+        failed = trace([0, 0])
+        assert median_samples_to([reached, reached, failed], 2) == 2.0
+        assert median_samples_to([failed, failed, reached], 2) is None
+
+
+class TestFig2:
+    def test_miniature_run(self):
+        config = fig2.Fig2Config(
+            num_instances=200, runs=150, max_n=5000, checkpoints=12
+        )
+        result = fig2.run(config)
+        assert len(result.cells) >= 3
+        assert 0.5 <= result.variance_coverage <= 1.0
+        text = fig2.format_result(result)
+        assert "Figure 2" in text
+        assert "cover95" in text
+
+    def test_belief_mean_tracks_truth(self):
+        config = fig2.Fig2Config(
+            num_instances=300, runs=150, max_n=20_000, checkpoints=16
+        )
+        result = fig2.run(config)
+        mid_cells = [c for c in result.cells if c.n >= 100 and c.true_mean > 0]
+        assert mid_cells
+        for cell in mid_cells:
+            assert cell.belief_mean == pytest.approx(cell.true_mean, rel=0.6)
+
+
+class TestFig3:
+    def test_single_cell(self):
+        config = fig3.Fig3Config(
+            num_instances=300,
+            total_frames=300_000,
+            num_chunks=32,
+            runs=2,
+            frame_budget=1500,
+            targets=(10, 100),
+        )
+        cell = fig3.run_cell(config, 1 / 32, 700)
+        assert cell.median_found["exsample"] > 0
+        assert cell.optimal_found > 0
+
+    def test_grid_and_format(self):
+        config = fig3.Fig3Config(
+            num_instances=150,
+            total_frames=150_000,
+            num_chunks=16,
+            runs=2,
+            frame_budget=600,
+            skews=(None, 1 / 16),
+            durations=(100, 700),
+            targets=(10,),
+        )
+        result = fig3.run(config)
+        assert len(result.cells) == 4
+        text = fig3.format_result(result)
+        assert "Figure 3" in text
+
+
+class TestFig4:
+    def test_miniature_run(self):
+        config = fig4.Fig4Config(
+            num_instances=200,
+            total_frames=200_000,
+            mean_duration=700,
+            skew=1 / 16,
+            chunk_counts=(1, 8, 64),
+            runs=2,
+            frame_budget=1200,
+        )
+        result = fig4.run(config)
+        assert len(result.curves) == 3
+        for curve in result.curves:
+            assert np.all(np.diff(curve.exsample_median) >= 0)
+            assert curve.optimal_expected[-1] <= 200 + 1e-6
+        assert "Figure 4" in fig4.format_result(result)
+
+
+class TestTable1:
+    def test_miniature_run(self):
+        config = table1.Table1Config(
+            datasets=("dashcam",), scale=0.03, max_classes=2
+        )
+        result = table1.run(config)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row.scan_seconds > 0
+        text = table1.format_result(result)
+        assert "Table I" in text
+
+
+class TestFig5:
+    def test_miniature_run(self):
+        config = fig5.Fig5Config(
+            datasets=("dashcam",), scale=0.03, trials=1, max_classes=2
+        )
+        result = fig5.run(config)
+        assert len(result.bars) == 2
+        text = fig5.format_result(result)
+        assert "Figure 5" in text
+
+
+class TestFig6:
+    def test_miniature_run(self):
+        config = fig6.Fig6Config(scale=0.03, trials=1)
+        result = fig6.run(config)
+        assert len(result.panels) == 5
+        labels = {(p.dataset, p.class_name) for p in result.panels}
+        assert ("dashcam", "bicycle") in labels
+        assert ("archie", "car") in labels
+        text = fig6.format_result(result)
+        assert "Figure 6" in text
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return ablations.AblationConfig(
+            num_instances=300,
+            total_frames=300_000,
+            num_chunks=16,
+            runs=2,
+            frame_budget=1200,
+            target_results=100,
+        )
+
+    def test_randomplus(self, config):
+        result = ablations.randomplus_ablation(config)
+        assert set(result) == {
+            "exsample/randomplus",
+            "exsample/uniform",
+            "random",
+            "random+",
+        }
+
+    def test_policy(self, config):
+        result = ablations.policy_ablation(config)
+        assert "thompson" in result
+
+    def test_prior(self, config):
+        result = ablations.prior_ablation(config)
+        assert len(result) == 5
+
+    def test_batch(self, config):
+        result = ablations.batch_ablation(config)
+        assert set(result) == {"batch=1", "batch=8", "batch=64"}
+
+    def test_format(self, config):
+        result = ablations.batch_ablation(config)
+        text = ablations.format_ablation("batch", result)
+        assert "batch=1" in text

@@ -1,0 +1,48 @@
+"""Tests for the run-everything report aggregator."""
+
+import pytest
+
+from repro.experiments import fig6, report, table1
+
+
+@pytest.fixture(autouse=True)
+def shrink_configs(monkeypatch):
+    """Make the selected artifacts miniature so the test stays fast."""
+    monkeypatch.setattr(
+        fig6.Fig6Config, "quick",
+        classmethod(lambda cls: cls(scale=0.02, trials=1)),
+    )
+    monkeypatch.setattr(
+        table1.Table1Config, "quick",
+        classmethod(
+            lambda cls: cls(datasets=("dashcam",), scale=0.02, max_classes=2)
+        ),
+    )
+
+
+class TestGenerateReport:
+    def test_selected_artifacts(self):
+        reports = report.generate_report(names=["fig6", "table1"], full=False)
+        assert [r.name for r in reports] == ["fig6", "table1"]
+        for artifact in reports:
+            assert artifact.text
+            assert artifact.seconds >= 0
+
+    def test_render_concatenates_with_headers(self):
+        reports = report.generate_report(names=["fig6"], full=False)
+        text = report.render_report(reports)
+        assert "fig6" in text
+        assert "Figure 6" in text
+        assert "=" * 72 in text
+
+    def test_write_report(self, tmp_path):
+        path = report.write_report(
+            tmp_path / "report.txt", names=["table1"], full=False
+        )
+        content = path.read_text()
+        assert "Table I" in content
+
+    def test_all_artifacts_registered(self):
+        assert sorted(report.ARTIFACTS) == [
+            "fig2", "fig3", "fig4", "fig5", "fig6", "table1",
+        ]

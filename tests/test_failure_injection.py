@@ -1,0 +1,161 @@
+"""Failure injection: the pipeline must stay honest under degraded parts.
+
+Each test breaks one component — a near-blind detector, a hallucinating
+detector, a tracker that loses everything, pathological chunkings — and
+asserts the system degrades *gracefully*: runs terminate, accounting stays
+consistent, and the evaluation metrics never report recall that did not
+happen.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExSampleConfig
+from repro.core.sampler import ExSampleSearcher
+from repro.detection.simulated import DetectorProfile, SimulatedDetector
+from repro.query.engine import QueryEngine
+from repro.query.metrics import (
+    duplicate_fraction,
+    precision,
+    recall_curve,
+    unique_instance_curve,
+)
+from repro.query.query import DistinctObjectQuery
+from repro.theory.instances import InstancePopulation
+from repro.theory.temporal_sim import TemporalEnvironment
+from repro.tracking.discriminator import TrackDiscriminator
+from repro.utils.rng import RngFactory, spawn_rng
+
+from tests.conftest import make_tiny_dataset
+
+
+class TestNearBlindDetector:
+    def test_query_terminates_and_reports_honestly(self):
+        dataset = make_tiny_dataset(seed=9)
+        detector = SimulatedDetector(
+            dataset.world,
+            profile=DetectorProfile(
+                miss_rate=0.9, small_box_penalty=0.0,
+                false_positives_per_frame=0.0,
+            ),
+            seed=9,
+        )
+        engine = QueryEngine(dataset, detector=detector, seed=9)
+        outcome = engine.run(
+            DistinctObjectQuery("car", frame_budget=800), method="exsample"
+        )
+        # Budget respected, recall monotone and <= 1 even with 90% misses.
+        assert outcome.trace.num_samples <= 800
+        curve = recall_curve(outcome.trace, outcome.gt_count)
+        if curve.size:
+            assert np.all(np.diff(curve) >= 0)
+            assert curve[-1] <= 1.0
+
+    def test_finds_less_than_good_detector(self):
+        dataset = make_tiny_dataset(seed=9)
+        blind = SimulatedDetector(
+            dataset.world,
+            profile=DetectorProfile(miss_rate=0.9, small_box_penalty=0.0),
+            seed=9,
+        )
+        sharp = SimulatedDetector(
+            dataset.world,
+            profile=DetectorProfile(miss_rate=0.0, small_box_penalty=0.0),
+            seed=9,
+        )
+        query = DistinctObjectQuery("car", frame_budget=400)
+        blind_found = QueryEngine(dataset, detector=blind, seed=9).run(
+            query, method="random"
+        ).num_results
+        sharp_found = QueryEngine(dataset, detector=sharp, seed=9).run(
+            query, method="random"
+        ).num_results
+        assert blind_found < sharp_found
+
+
+class TestHallucinatingDetector:
+    def test_precision_reflects_false_positives(self):
+        dataset = make_tiny_dataset(seed=10)
+        noisy = SimulatedDetector(
+            dataset.world,
+            profile=DetectorProfile(
+                miss_rate=0.05, false_positives_per_frame=2.0
+            ),
+            seed=10,
+        )
+        engine = QueryEngine(dataset, detector=noisy, seed=10)
+        outcome = engine.run(
+            DistinctObjectQuery("car", frame_budget=300), method="random"
+        )
+        assert precision(outcome.trace) < 0.9  # hallucinations show up...
+        # ...but never inflate instance recall.
+        assert unique_instance_curve(outcome.trace)[-1] <= outcome.gt_count
+
+
+class TestAmnesiacTracker:
+    def test_total_track_loss_causes_duplicates_not_crashes(self):
+        dataset = make_tiny_dataset(seed=11)
+        engine = QueryEngine(dataset, seed=11)
+        env = engine.environment("car")
+        # Replace the discriminator with one that forgets almost instantly.
+        env.discriminator = TrackDiscriminator(
+            dataset.world, track_loss_per_frame=0.9, seed=11
+        )
+        searcher = ExSampleSearcher(env, ExSampleConfig(seed=11), rng=RngFactory(11))
+        trace = searcher.run(frame_budget=600)
+        assert duplicate_fraction(trace) > 0.0
+        # d0 counts exceed unique instances (duplicates), never the reverse.
+        assert trace.num_results >= unique_instance_curve(trace)[-1]
+
+
+class TestPathologicalChunkings:
+    def _population(self):
+        return InstancePopulation.place(
+            50, 5000, 100, spawn_rng(12, "fi"), skew_fraction=1 / 4
+        )
+
+    def test_single_frame_chunks(self):
+        population = self._population()
+        env = TemporalEnvironment.with_even_chunks(population, 5000)
+        searcher = ExSampleSearcher(env, ExSampleConfig(seed=0), rng=RngFactory(0))
+        trace = searcher.run(frame_budget=200)
+        assert trace.num_samples == 200
+        assert len(set(zip(trace.chunks.tolist(), trace.frames.tolist()))) == 200
+
+    def test_single_chunk(self):
+        population = self._population()
+        env = TemporalEnvironment.with_even_chunks(population, 1)
+        searcher = ExSampleSearcher(env, ExSampleConfig(seed=0), rng=RngFactory(0))
+        trace = searcher.run(frame_budget=200)
+        assert trace.num_samples == 200
+
+    def test_budget_larger_than_dataset(self):
+        population = self._population()
+        env = TemporalEnvironment.with_even_chunks(population, 8)
+        searcher = ExSampleSearcher(env, ExSampleConfig(seed=0), rng=RngFactory(0))
+        trace = searcher.run(frame_budget=10_000)
+        # Exhausts all 5000 frames, then stops cleanly.
+        assert trace.num_samples == 5000
+        assert trace.num_results == 50  # every instance eventually found
+
+
+class TestEmptyWorlds:
+    def test_class_with_no_detectable_frames(self):
+        """A frame budget run over an empty-result environment ends quietly."""
+        population = InstancePopulation(
+            starts=np.array([0]), durations=np.array([1]), total_frames=1000
+        )
+        env = TemporalEnvironment.with_even_chunks(population, 4)
+        searcher = ExSampleSearcher(env, ExSampleConfig(seed=0), rng=RngFactory(0))
+        trace = searcher.run(frame_budget=100)
+        assert trace.num_results <= 1
+
+    def test_result_limit_never_reached_falls_through_to_exhaustion(self):
+        population = InstancePopulation(
+            starts=np.array([10]), durations=np.array([5]), total_frames=500
+        )
+        env = TemporalEnvironment.with_even_chunks(population, 4)
+        searcher = ExSampleSearcher(env, ExSampleConfig(seed=0), rng=RngFactory(0))
+        trace = searcher.run(result_limit=99)
+        assert trace.num_samples == 500  # drained everything looking
+        assert trace.num_results == 1

@@ -1,0 +1,205 @@
+"""Integration tests: the paper's headline claims at reduced scale.
+
+These run the full pipeline (dataset -> detector -> discriminator ->
+searchers -> metrics) and assert the *relationships* the paper reports, with
+tolerances appropriate for miniature workloads:
+
+1. ExSample substantially beats random sampling under skew (§V-C);
+2. ExSample is not much worse than random without skew (§IV-B);
+3. ExSample reaches high recall before a proxy scan completes (Table I);
+4. the Eq. IV.1 oracle upper-bounds ExSample's discovery curve (§IV-A);
+5. batched ExSample behaves like unbatched (§III-F).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomSearcher
+from repro.core.config import ExSampleConfig
+from repro.core.sampler import ExSampleSearcher
+from repro.query.engine import QueryEngine
+from repro.query.metrics import savings_ratio, time_to_recall
+from repro.query.query import DistinctObjectQuery
+from repro.theory.instances import InstancePopulation, even_chunk_bounds
+from repro.theory.optimal_weights import expected_found, optimal_weights
+from repro.theory.temporal_sim import TemporalEnvironment
+from repro.utils.rng import RngFactory, spawn_rng
+from repro.video.datasets import make_dataset
+
+
+def median_samples(make_searcher, runs, target):
+    values = []
+    for run_idx in range(runs):
+        trace = make_searcher(run_idx).run(result_limit=target)
+        values.append(trace.num_samples)
+    return float(np.median(values))
+
+
+class TestSkewAdvantage:
+    """§V-C: under skew ExSample clearly beats random sampling."""
+
+    def test_heavy_skew_big_savings(self):
+        population = InstancePopulation.place(
+            400, 400_000, 700, spawn_rng(0, "it"), skew_fraction=1 / 32
+        )
+        bounds = even_chunk_bounds(400_000, 32)
+        target = 200
+
+        def make_ex(run_idx):
+            return ExSampleSearcher(
+                TemporalEnvironment(population, bounds),
+                ExSampleConfig(seed=run_idx),
+                rng=RngFactory(run_idx),
+            )
+
+        def make_rnd(run_idx):
+            return RandomSearcher(
+                TemporalEnvironment(population, bounds), rng=RngFactory(100 + run_idx)
+            )
+
+        ex = median_samples(make_ex, 5, target)
+        rnd = median_samples(make_rnd, 5, target)
+        assert rnd / ex > 1.5
+
+    def test_no_skew_not_much_worse(self):
+        """Figure 3 top row: worst observed 0.79x; we allow 0.6x at tiny scale."""
+        population = InstancePopulation.place(
+            400, 400_000, 700, spawn_rng(1, "it"), skew_fraction=None
+        )
+        bounds = even_chunk_bounds(400_000, 32)
+        target = 150
+
+        def make_ex(run_idx):
+            return ExSampleSearcher(
+                TemporalEnvironment(population, bounds),
+                ExSampleConfig(seed=run_idx),
+                rng=RngFactory(run_idx),
+            )
+
+        def make_rnd(run_idx):
+            return RandomSearcher(
+                TemporalEnvironment(population, bounds), rng=RngFactory(100 + run_idx)
+            )
+
+        ex = median_samples(make_ex, 5, target)
+        rnd = median_samples(make_rnd, 5, target)
+        assert rnd / ex > 0.6
+
+
+class TestProxyRelation:
+    """Table I: ExSample@90% beats the scan on a skewed video dataset."""
+
+    def test_exsample_beats_scan_time(self):
+        dataset = make_dataset("dashcam", scale=0.04, seed=1)
+        engine = QueryEngine(dataset, seed=1)
+        scan_seconds = engine.cost_model.scan_cost(dataset.total_frames)
+        query = DistinctObjectQuery(
+            "traffic light", recall_target=0.9, frame_budget=dataset.total_frames
+        )
+        outcome = engine.run(query, method="exsample")
+        t90 = time_to_recall(outcome.trace, outcome.gt_count, 0.9)
+        assert t90 is not None
+        assert t90 < scan_seconds
+
+    def test_proxy_time_dominated_by_scan(self):
+        dataset = make_dataset("night_street", scale=0.04, seed=2)
+        engine = QueryEngine(dataset, seed=2)
+        query = DistinctObjectQuery(
+            "person", recall_target=0.5, frame_budget=dataset.total_frames
+        )
+        ex = engine.run(query, method="exsample")
+        px = engine.run(query, method="proxy")
+        t_ex = time_to_recall(ex.trace, ex.gt_count, 0.5)
+        t_px = time_to_recall(px.trace, px.gt_count, 0.5)
+        assert t_ex is not None and t_px is not None
+        assert t_px > t_ex * 3  # scan swamps everything
+
+
+class TestOracleUpperBound:
+    """§IV-A: the optimal static allocation upper-bounds ExSample."""
+
+    def test_exsample_below_oracle_expectation(self):
+        population = InstancePopulation.place(
+            500, 500_000, 700, spawn_rng(3, "it"), skew_fraction=1 / 16
+        )
+        bounds = even_chunk_bounds(500_000, 16)
+        budget = 2500
+        p_matrix = population.chunk_probabilities(bounds)
+        weights = optimal_weights(p_matrix, float(budget))
+        oracle_expected = expected_found(p_matrix, weights, float(budget))
+        found = []
+        for seed in range(5):
+            env = TemporalEnvironment(population, bounds)
+            trace = ExSampleSearcher(
+                env, ExSampleConfig(seed=seed), rng=RngFactory(seed)
+            ).run(frame_budget=budget)
+            found.append(trace.num_results)
+        # Median realised discovery stays at or below the offline optimum
+        # (small slack: the oracle expectation is itself an estimate of a
+        # mean, single runs fluctuate).
+        assert np.median(found) <= oracle_expected * 1.05
+
+    def test_exsample_approaches_oracle(self):
+        """...but not by much: ExSample converges toward the dashed line."""
+        population = InstancePopulation.place(
+            500, 500_000, 700, spawn_rng(4, "it"), skew_fraction=1 / 16
+        )
+        bounds = even_chunk_bounds(500_000, 16)
+        budget = 4000
+        p_matrix = population.chunk_probabilities(bounds)
+        weights = optimal_weights(p_matrix, float(budget))
+        oracle_expected = expected_found(p_matrix, weights, float(budget))
+        env = TemporalEnvironment(population, bounds)
+        trace = ExSampleSearcher(
+            env, ExSampleConfig(seed=0), rng=RngFactory(0)
+        ).run(frame_budget=budget)
+        assert trace.num_results > 0.8 * oracle_expected
+
+
+class TestBatchedEquivalence:
+    """§III-F: batching changes throughput, not outcome quality (much)."""
+
+    def test_batched_close_to_unbatched(self):
+        population = InstancePopulation.place(
+            400, 400_000, 700, spawn_rng(5, "it"), skew_fraction=1 / 16
+        )
+        bounds = even_chunk_bounds(400_000, 32)
+        budget = 2000
+
+        def run_with_batch(batch, seed):
+            env = TemporalEnvironment(population, bounds)
+            return ExSampleSearcher(
+                env,
+                ExSampleConfig(seed=seed, batch_size=batch),
+                rng=RngFactory(seed),
+            ).run(frame_budget=budget).num_results
+
+        single = np.median([run_with_batch(1, s) for s in range(3)])
+        batched = np.median([run_with_batch(16, s) for s in range(3)])
+        assert batched > single * 0.85
+
+
+class TestEndToEndRecallHonesty:
+    """Recall accounting must be robust to detector noise and FP tracks."""
+
+    def test_precision_reasonable_with_noisy_detector(self):
+        dataset = make_dataset("dashcam", scale=0.03, seed=3)
+        engine = QueryEngine(dataset, seed=3)
+        outcome = engine.run(
+            DistinctObjectQuery("person", recall_target=0.5), method="exsample"
+        )
+        from repro.query.metrics import precision
+
+        assert precision(outcome.trace) > 0.6
+
+    def test_recall_never_exceeds_one(self):
+        dataset = make_dataset("dashcam", scale=0.03, seed=3)
+        engine = QueryEngine(dataset, seed=3)
+        outcome = engine.run(
+            DistinctObjectQuery("bus", frame_budget=2000), method="random"
+        )
+        from repro.query.metrics import recall_curve
+
+        curve = recall_curve(outcome.trace, outcome.gt_count)
+        assert np.all(curve <= 1.0 + 1e-9)
+        assert np.all(np.diff(curve) >= 0)

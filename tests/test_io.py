@@ -1,0 +1,130 @@
+"""Tests for trace/outcome persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.sampler import SearchTrace
+from repro.io import (
+    PersistenceError,
+    dataset_fingerprint,
+    load_outcome_summary,
+    load_trace,
+    save_outcome_summary,
+    save_trace,
+)
+from repro.query.engine import FoundObject, QueryEngine
+from repro.query.query import DistinctObjectQuery
+
+from tests.conftest import make_tiny_dataset
+
+
+def make_trace():
+    return SearchTrace(
+        chunks=np.array([0, 1, 1], dtype=np.int64),
+        frames=np.array([5, 2, 9], dtype=np.int64),
+        d0s=np.array([1, 0, 2], dtype=np.int64),
+        d1s=np.array([0, 1, 0], dtype=np.int64),
+        costs=np.array([0.05, 0.05, 0.05]),
+        results=[
+            7,
+            FoundObject(
+                video=0, frame=9, class_name="car", score=0.9,
+                box_xyxy=(1.0, 2.0, 3.0, 4.0), instance_uid=12, track_id=0,
+            ),
+            FoundObject(
+                video=0, frame=9, class_name="car", score=0.4,
+                box_xyxy=(5.0, 6.0, 7.0, 8.0), instance_uid=None, track_id=1,
+            ),
+        ],
+        upfront_cost=3.5,
+        searcher="exsample",
+    )
+
+
+class TestTraceRoundTrip:
+    def test_arrays_and_scalars(self, tmp_path):
+        trace = make_trace()
+        path = save_trace(trace, tmp_path / "run1")
+        assert path.suffix == ".npz"
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.chunks, trace.chunks)
+        assert np.array_equal(loaded.frames, trace.frames)
+        assert np.array_equal(loaded.d0s, trace.d0s)
+        assert np.array_equal(loaded.d1s, trace.d1s)
+        assert np.allclose(loaded.costs, trace.costs)
+        assert loaded.upfront_cost == trace.upfront_cost
+        assert loaded.searcher == "exsample"
+
+    def test_payloads_round_trip(self, tmp_path):
+        trace = make_trace()
+        loaded = load_trace(save_trace(trace, tmp_path / "run2"))
+        assert loaded.results[0] == 7
+        found = loaded.results[1]
+        assert isinstance(found, FoundObject)
+        assert found.instance_uid == 12
+        assert found.box_xyxy == (1.0, 2.0, 3.0, 4.0)
+        assert loaded.results[2].instance_uid is None
+
+    def test_derived_metrics_survive(self, tmp_path):
+        trace = make_trace()
+        loaded = load_trace(save_trace(trace, tmp_path / "run3"))
+        assert loaded.total_cost == pytest.approx(trace.total_cost)
+        assert loaded.samples_to_results(3) == trace.samples_to_results(3)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not an npz at all")
+        with pytest.raises((PersistenceError, Exception)):
+            load_trace(path)
+
+    def test_end_to_end_with_engine(self, tmp_path):
+        engine = QueryEngine(make_tiny_dataset(seed=13), seed=13)
+        outcome = engine.run(DistinctObjectQuery("car", limit=5))
+        loaded = load_trace(save_trace(outcome.trace, tmp_path / "real"))
+        assert loaded.num_results == outcome.trace.num_results
+        assert loaded.num_samples == outcome.trace.num_samples
+
+
+class TestOutcomeSummary:
+    def test_summary_round_trip(self, tmp_path):
+        dataset = make_tiny_dataset(seed=13)
+        engine = QueryEngine(dataset, seed=13)
+        outcome = engine.run(DistinctObjectQuery("car", recall_target=0.4))
+        path = save_outcome_summary(
+            outcome, tmp_path / "summary.json", dataset=dataset
+        )
+        summary = load_outcome_summary(path)
+        assert summary["method"] == "exsample"
+        assert summary["gt_count"] == dataset.gt_count("car")
+        assert summary["final_recall"] >= 0.4
+        assert summary["dataset"]["name"] == "tiny"
+        assert "0.1" in summary["milestones"]
+
+    def test_summary_is_valid_json(self, tmp_path):
+        dataset = make_tiny_dataset(seed=13)
+        engine = QueryEngine(dataset, seed=13)
+        outcome = engine.run(DistinctObjectQuery("car", limit=3))
+        path = save_outcome_summary(outcome, tmp_path / "s.json")
+        parsed = json.loads(path.read_text())
+        assert parsed["num_results"] >= 3
+
+    def test_corrupt_summary(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(PersistenceError):
+            load_outcome_summary(path)
+
+
+class TestFingerprint:
+    def test_fields(self):
+        dataset = make_tiny_dataset(seed=13)
+        fp = dataset_fingerprint(dataset)
+        assert fp["name"] == "tiny"
+        assert fp["total_frames"] == dataset.total_frames
+        assert fp["classes"] == dataset.classes

@@ -1,0 +1,89 @@
+"""Property-based round-trip tests for trace persistence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampler import SearchTrace
+from repro.io import load_trace, save_trace
+from repro.query.engine import FoundObject
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=0, max_value=30))
+    d0s = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=3), min_size=n, max_size=n
+        )
+    )
+    payloads = []
+    uid = 0
+    for count in d0s:
+        for _ in range(count):
+            if draw(st.booleans()):
+                payloads.append(uid)
+            else:
+                payloads.append(
+                    FoundObject(
+                        video=draw(st.integers(0, 5)),
+                        frame=draw(st.integers(0, 10_000)),
+                        class_name=draw(
+                            st.sampled_from(["car", "person", "boat"])
+                        ),
+                        score=draw(st.floats(0.0, 1.0)),
+                        box_xyxy=(0.0, 0.0, 10.0, 10.0),
+                        instance_uid=uid if draw(st.booleans()) else None,
+                        track_id=uid,
+                    )
+                )
+            uid += 1
+    return SearchTrace(
+        chunks=np.array(
+            draw(st.lists(st.integers(0, 7), min_size=n, max_size=n)),
+            dtype=np.int64,
+        ),
+        frames=np.arange(n, dtype=np.int64),
+        d0s=np.array(d0s, dtype=np.int64),
+        d1s=np.zeros(n, dtype=np.int64),
+        costs=np.full(n, 0.05),
+        results=payloads,
+        upfront_cost=draw(st.floats(0.0, 100.0)),
+        searcher=draw(st.sampled_from(["exsample", "random", "proxy"])),
+    )
+
+
+@given(trace=traces())
+@settings(max_examples=25, deadline=None)
+def test_round_trip_preserves_everything(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "t.npz"
+    loaded = load_trace(save_trace(trace, path))
+    assert np.array_equal(loaded.chunks, trace.chunks)
+    assert np.array_equal(loaded.frames, trace.frames)
+    assert np.array_equal(loaded.d0s, trace.d0s)
+    assert np.allclose(loaded.costs, trace.costs)
+    assert loaded.upfront_cost == pytest.approx(trace.upfront_cost)
+    assert loaded.searcher == trace.searcher
+    assert len(loaded.results) == len(trace.results)
+    for original, restored in zip(trace.results, loaded.results):
+        if isinstance(original, int):
+            assert restored == original
+        else:
+            assert isinstance(restored, FoundObject)
+            assert restored.instance_uid == original.instance_uid
+            assert restored.class_name == original.class_name
+
+
+@given(trace=traces())
+@settings(max_examples=15, deadline=None)
+def test_round_trip_preserves_metrics(trace, tmp_path_factory):
+    from repro.query.metrics import precision, unique_instance_curve
+
+    path = tmp_path_factory.mktemp("traces2") / "t.npz"
+    loaded = load_trace(save_trace(trace, path))
+    assert loaded.total_cost == pytest.approx(trace.total_cost)
+    assert precision(loaded) == pytest.approx(precision(trace))
+    assert np.array_equal(
+        unique_instance_curve(loaded), unique_instance_curve(trace)
+    )

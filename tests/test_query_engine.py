@@ -1,0 +1,101 @@
+"""Tests for the query engine over the tiny dataset."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.query.engine import SEARCH_METHODS, QueryEngine
+from repro.query.query import DistinctObjectQuery
+
+from tests.conftest import make_tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return QueryEngine(make_tiny_dataset(seed=6), seed=6)
+
+
+class TestRunMethods:
+    @pytest.mark.parametrize("method", SEARCH_METHODS)
+    def test_every_method_completes(self, engine, method):
+        query = DistinctObjectQuery("car", limit=5)
+        outcome = engine.run(query, method=method)
+        assert outcome.num_results >= 5
+        assert outcome.trace.num_samples >= 1
+        assert outcome.method == method
+
+    def test_unknown_method(self, engine):
+        with pytest.raises(QueryError):
+            engine.run(DistinctObjectQuery("car", limit=1), method="magic")
+
+    def test_unknown_class(self, engine):
+        with pytest.raises(QueryError):
+            engine.run(DistinctObjectQuery("plane", limit=1))
+
+
+class TestOutcome:
+    def test_recall_target_reaches_target(self, engine):
+        query = DistinctObjectQuery("car", recall_target=0.5)
+        outcome = engine.run(query, method="exsample")
+        assert outcome.recall() >= 0.5 - 1e-9
+
+    def test_found_objects_have_metadata(self, engine):
+        outcome = engine.run(
+            DistinctObjectQuery("car", limit=3), method="exsample"
+        )
+        for found in outcome.found:
+            assert found.class_name == "car"
+            assert 0 <= found.score <= 1
+            assert len(found.box_xyxy) == 4
+
+    def test_frame_budget_respected(self, engine):
+        query = DistinctObjectQuery("dog", frame_budget=25)
+        outcome = engine.run(query, method="random")
+        assert outcome.trace.num_samples <= 25
+
+    def test_proxy_has_upfront_cost(self, engine):
+        outcome = engine.run(
+            DistinctObjectQuery("car", limit=2), method="proxy"
+        )
+        expected = engine.cost_model.scan_cost(engine.dataset.total_frames)
+        assert outcome.trace.upfront_cost == pytest.approx(expected)
+
+    def test_sampling_methods_have_no_upfront_cost(self, engine):
+        for method in ("exsample", "random", "randomplus", "sequential"):
+            outcome = engine.run(
+                DistinctObjectQuery("car", limit=2), method=method
+            )
+            assert outcome.trace.upfront_cost == 0.0
+
+    def test_costs_match_cost_model(self, engine):
+        outcome = engine.run(
+            DistinctObjectQuery("car", limit=2), method="random"
+        )
+        assert np.allclose(outcome.trace.costs, 1 / 20)
+
+
+class TestEngineInternals:
+    def test_proxy_model_cached(self, engine):
+        a = engine.proxy_model("car", quality=0.8)
+        b = engine.proxy_model("car", quality=0.8)
+        assert a is b
+        c = engine.proxy_model("car", quality=0.9)
+        assert c is not a
+
+    def test_environment_fresh_per_run(self, engine):
+        env_a = engine.environment("car", run_seed=0)
+        env_b = engine.environment("car", run_seed=0)
+        assert env_a.discriminator is not env_b.discriminator
+
+    def test_run_seed_changes_trajectory(self, engine):
+        query = DistinctObjectQuery("car", limit=5)
+        a = engine.run(query, method="exsample", run_seed=0)
+        b = engine.run(query, method="exsample", run_seed=1)
+        assert not np.array_equal(a.trace.frames[:10], b.trace.frames[:10])
+
+    def test_run_deterministic_given_seed(self, engine):
+        query = DistinctObjectQuery("car", limit=5)
+        a = engine.run(query, method="exsample", run_seed=3)
+        b = engine.run(query, method="exsample", run_seed=3)
+        assert np.array_equal(a.trace.frames, b.trace.frames)
+        assert np.array_equal(a.trace.chunks, b.trace.chunks)

@@ -1,0 +1,164 @@
+"""Tests for queries, the cost model and the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampler import SearchTrace
+from repro.errors import ConfigError, QueryError
+from repro.query.cost import PAPER_DETECTOR_FPS, PAPER_SCAN_FPS, CostModel
+from repro.query.engine import FoundObject
+from repro.query.metrics import (
+    duplicate_fraction,
+    precision,
+    recall_curve,
+    samples_to_recall,
+    savings_ratio,
+    time_to_recall,
+    unique_instance_curve,
+)
+from repro.query.query import DistinctObjectQuery
+
+
+class TestCostModel:
+    def test_paper_constants(self):
+        assert PAPER_DETECTOR_FPS == 20.0
+        assert PAPER_SCAN_FPS == 100.0
+
+    def test_sample_cost_default(self):
+        model = CostModel()
+        assert model.sample_cost(0, 123) == pytest.approx(1 / 20)
+
+    def test_scan_cost(self):
+        model = CostModel()
+        # The paper's BDD-1k row: ~54 minutes for ~324k frames.
+        frames = int(54 * 60 * 100)
+        assert model.scan_cost(frames) == pytest.approx(54 * 60)
+
+    def test_detailed_mode_adds_decode(self):
+        flat = CostModel().sample_cost(0, 19)
+        detailed = CostModel(detailed=True).sample_cost(0, 19)
+        assert detailed > flat
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CostModel(detector_fps=0)
+        with pytest.raises(ConfigError):
+            CostModel().scan_cost(-1)
+
+
+class TestDistinctObjectQuery:
+    def test_limit_query(self):
+        q = DistinctObjectQuery("car", limit=20)
+        assert q.resolve_limit(1000) == 20
+
+    def test_recall_query_uses_ceiling(self):
+        q = DistinctObjectQuery("car", recall_target=0.9)
+        assert q.resolve_limit(28) == 26  # ceil(25.2)
+        assert q.resolve_limit(10) == 9
+
+    def test_unbounded_query(self):
+        q = DistinctObjectQuery("car")
+        assert q.resolve_limit(100) is None
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            DistinctObjectQuery("")
+        with pytest.raises(QueryError):
+            DistinctObjectQuery("car", limit=0)
+        with pytest.raises(QueryError):
+            DistinctObjectQuery("car", recall_target=1.5)
+        with pytest.raises(QueryError):
+            DistinctObjectQuery("car", limit=5, recall_target=0.5)
+        with pytest.raises(QueryError):
+            DistinctObjectQuery("car", frame_budget=0)
+
+
+def _found(uid, video=0, frame=0):
+    return FoundObject(
+        video=video, frame=frame, class_name="car", score=0.9,
+        box_xyxy=(0, 0, 1, 1), instance_uid=uid, track_id=0,
+    )
+
+
+def make_trace(d0s, payloads, costs=None, upfront=0.0):
+    n = len(d0s)
+    return SearchTrace(
+        chunks=np.zeros(n, dtype=np.int64),
+        frames=np.arange(n, dtype=np.int64),
+        d0s=np.asarray(d0s, dtype=np.int64),
+        d1s=np.zeros(n, dtype=np.int64),
+        costs=np.asarray(costs if costs is not None else np.ones(n), dtype=float),
+        results=payloads,
+        upfront_cost=upfront,
+    )
+
+
+class TestMetrics:
+    def test_unique_curve_ignores_fp_and_duplicates(self):
+        trace = make_trace(
+            [1, 1, 1, 1],
+            [_found(1), _found(None), _found(1), _found(2)],
+        )
+        assert list(unique_instance_curve(trace)) == [1, 1, 1, 2]
+
+    def test_unique_curve_int_payloads(self):
+        trace = make_trace([1, 0, 1], [5, 5])
+        assert list(unique_instance_curve(trace)) == [1, 1, 1]
+
+    def test_recall_curve(self):
+        trace = make_trace([1, 1], [_found(1), _found(2)])
+        assert recall_curve(trace, 4) == pytest.approx([0.25, 0.5])
+
+    def test_samples_to_recall(self):
+        trace = make_trace([1, 0, 1], [_found(1), _found(2)])
+        assert samples_to_recall(trace, 2, 0.5) == 1
+        assert samples_to_recall(trace, 2, 1.0) == 3
+        assert samples_to_recall(trace, 3, 1.0) is None
+
+    def test_time_to_recall_includes_upfront(self):
+        trace = make_trace(
+            [1], [_found(1)], costs=[2.0], upfront=100.0
+        )
+        assert time_to_recall(trace, 1, 1.0) == pytest.approx(102.0)
+
+    def test_savings_ratio_time(self):
+        slow = make_trace([0, 0, 0, 1], [_found(1)])
+        fast = make_trace([1], [_found(1)])
+        assert savings_ratio(slow, fast, 1, 1.0, mode="time") == pytest.approx(4.0)
+
+    def test_savings_ratio_samples(self):
+        slow = make_trace([0, 1], [_found(1)], costs=[9.0, 9.0])
+        fast = make_trace([1], [_found(1)], costs=[1.0])
+        assert savings_ratio(slow, fast, 1, 1.0, mode="samples") == pytest.approx(2.0)
+
+    def test_savings_ratio_none_when_unreached(self):
+        empty = make_trace([0], [])
+        fast = make_trace([1], [_found(1)])
+        assert savings_ratio(empty, fast, 1, 1.0) is None
+
+    def test_savings_ratio_bad_mode(self):
+        trace = make_trace([1], [_found(1)])
+        with pytest.raises(QueryError):
+            savings_ratio(trace, trace, 1, 1.0, mode="frames")
+
+    def test_precision(self):
+        trace = make_trace(
+            [1, 1, 1], [_found(1), _found(None), _found(2)]
+        )
+        assert precision(trace) == pytest.approx(2 / 3)
+
+    def test_precision_empty(self):
+        assert precision(make_trace([0], [])) == 1.0
+
+    def test_duplicate_fraction(self):
+        trace = make_trace(
+            [1, 1, 1], [_found(1), _found(1), _found(2)]
+        )
+        assert duplicate_fraction(trace) == pytest.approx(1 / 3)
+
+    def test_recall_validation(self):
+        trace = make_trace([1], [_found(1)])
+        with pytest.raises(QueryError):
+            samples_to_recall(trace, 1, 0.0)
+        with pytest.raises(QueryError):
+            recall_curve(trace, 0)

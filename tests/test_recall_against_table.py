@@ -1,0 +1,68 @@
+"""Tests for approximate-GT recall accounting (§V-A denominators)."""
+
+import pytest
+
+from repro.detection.simulated import PERFECT_PROFILE, SimulatedDetector
+from repro.errors import QueryError
+from repro.query.engine import QueryEngine
+from repro.query.metrics import recall_against_table
+from repro.query.query import DistinctObjectQuery
+from repro.tracking.groundtruth import approximate_ground_truth
+
+from tests.conftest import make_tiny_dataset
+
+
+class TestRecallAgainstTable:
+    def test_denominator_swap(self):
+        dataset = make_tiny_dataset(seed=15)
+        engine = QueryEngine(dataset, seed=15)
+        outcome = engine.run(
+            DistinctObjectQuery("car", recall_target=0.5), method="exsample"
+        )
+        report = recall_against_table(
+            outcome.trace, approx_count=40, true_count=dataset.gt_count("car")
+        )
+        assert report["found"] >= 1
+        assert report["recall_vs_true"] == pytest.approx(
+            report["found"] / dataset.gt_count("car")
+        )
+        assert report["recall_vs_approx"] == pytest.approx(
+            min(report["found"] / 40, 1.0)
+        )
+
+    def test_capped_at_one(self):
+        dataset = make_tiny_dataset(seed=15)
+        engine = QueryEngine(dataset, seed=15)
+        outcome = engine.run(
+            DistinctObjectQuery("car", recall_target=0.5), method="exsample"
+        )
+        report = recall_against_table(outcome.trace, approx_count=1, true_count=30)
+        assert report["recall_vs_approx"] == 1.0
+
+    def test_validation(self):
+        dataset = make_tiny_dataset(seed=15)
+        engine = QueryEngine(dataset, seed=15)
+        outcome = engine.run(DistinctObjectQuery("car", limit=2))
+        with pytest.raises(QueryError):
+            recall_against_table(outcome.trace, approx_count=0, true_count=10)
+
+    def test_paper_pipeline_end_to_end(self):
+        """The §V-A evaluation loop: scan-built GT as the denominator."""
+        dataset = make_tiny_dataset(seed=15)
+        detector = SimulatedDetector(dataset.world, profile=PERFECT_PROFILE, seed=0)
+        table = approximate_ground_truth(dataset, detector, stride=2)
+        engine = QueryEngine(dataset, detector=detector, seed=15)
+        outcome = engine.run(
+            DistinctObjectQuery("car", recall_target=0.5), method="exsample"
+        )
+        report = recall_against_table(
+            outcome.trace,
+            approx_count=max(table.count("car"), 1),
+            true_count=dataset.gt_count("car"),
+        )
+        # With a perfect detector, the approximate denominator sits near the
+        # truth, so both recalls agree closely.
+        assert report["denominator_ratio"] == pytest.approx(1.0, abs=0.35)
+        assert abs(
+            report["recall_vs_true"] - report["recall_vs_approx"]
+        ) < 0.35

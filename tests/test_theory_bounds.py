@@ -1,0 +1,127 @@
+"""Tests for the numeric theorem verification module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.theory.bounds import (
+    MarginReport,
+    bias_margin_report,
+    dataset_coverage_check,
+    poisson_fit_report,
+    variance_margin_report,
+)
+from repro.theory.instances import lognormal_probabilities
+from repro.utils.rng import spawn_rng
+
+from tests.conftest import make_tiny_dataset
+
+
+class TestMarginReport:
+    def test_holds(self):
+        assert MarginReport(measured=0.5, bound=1.0).holds
+        assert not MarginReport(measured=1.5, bound=1.0).holds
+
+    def test_margin(self):
+        assert MarginReport(measured=0.5, bound=1.0).margin == pytest.approx(2.0)
+        assert MarginReport(measured=0.0, bound=1.0).margin == np.inf
+
+
+class TestBiasMargins:
+    def test_both_bounds_hold_on_lognormal_population(self):
+        p = lognormal_probabilities(500, spawn_rng(0, "b"))
+        for n in (10, 100, 1000):
+            report = bias_margin_report(p, n)
+            assert report["maxp_bound"].holds
+            assert report["moments_bound"].holds
+            assert report["relative_bias"] >= 0
+
+    def test_bias_small_relative_to_estimate(self):
+        """The theorem's point: the overestimate is small in practice."""
+        p = lognormal_probabilities(1000, spawn_rng(1, "b"))
+        report = bias_margin_report(p, 100)
+        assert report["relative_bias"] < 0.2
+
+    def test_rejects_degenerate(self):
+        # p so large that (1-p)^(n-1) underflows: nothing is ever "seen
+        # exactly once" at this n, so the estimate is identically zero.
+        with pytest.raises(DatasetError):
+            bias_margin_report(np.array([0.999]), 100_000)
+
+
+class TestVarianceMargin:
+    def test_bound_holds(self):
+        p = spawn_rng(2, "v").uniform(0.002, 0.04, size=80)
+        report = variance_margin_report(p, n=80, runs=4000, rng=spawn_rng(3, "v"))
+        assert report.measured <= report.bound * 1.1  # MC tolerance
+
+    def test_bound_not_vacuous(self):
+        """The bound should be within ~an order of magnitude, not infinite."""
+        p = spawn_rng(4, "v").uniform(0.002, 0.04, size=80)
+        report = variance_margin_report(p, n=80, runs=4000, rng=spawn_rng(5, "v"))
+        assert report.margin < 20
+
+
+class TestPoissonFit:
+    def test_good_fit_small_p_large_n(self):
+        """The §III-B regime: the per-instance seen-exactly-once chance
+        q = n·π(n) must be small. q ≈ np·e^(-np), so either np << 1 (here)
+        or np >> 1 works; np ≈ 1 is the worst case (tested below)."""
+        p = np.full(400, 0.004)
+        report = poisson_fit_report(p, n=10, runs=60_000, rng=spawn_rng(6, "pf"))
+        assert report["tv_distance"] < 0.06
+        assert report["empirical_mean"] == pytest.approx(report["lambda"], rel=0.1)
+
+    def test_good_fit_large_np(self):
+        """The other end of the regime: np >> 1 (objects seen many times)."""
+        p = np.full(400, 0.004)
+        report = poisson_fit_report(
+            p, n=2000, runs=60_000, rng=spawn_rng(16, "pf")
+        )
+        assert report["tv_distance"] < 0.06
+
+    def test_fit_degrades_outside_regime(self):
+        """The approximation breaks when the per-instance seen-exactly-once
+        probability n·π(n) is large: N1 is Binomial with variance well below
+        the Poisson's. p = 1/n maximises that probability (~0.38)."""
+        n = 12
+        small_p = np.full(60, 0.005)
+        peak_p = np.full(60, 1.0 / n)
+        rng = spawn_rng(7, "pf")
+        good = poisson_fit_report(small_p, n, 30_000, rng)["tv_distance"]
+        bad = poisson_fit_report(peak_p, n, 30_000, rng)["tv_distance"]
+        assert bad > good * 2
+
+    def test_variance_close_to_mean(self):
+        """Poisson signature: Var[N1] ~ E[N1] (in the small-q regime)."""
+        p = np.full(300, 0.006)
+        report = poisson_fit_report(p, n=8, runs=30_000, rng=spawn_rng(8, "pf"))
+        assert report["empirical_var"] == pytest.approx(
+            report["empirical_mean"], rel=0.15
+        )
+
+
+class TestDatasetCoverage:
+    def test_coverage_in_plausible_band(self):
+        """§III-D: with co-occurring instances, coverage lands below the
+        nominal 95% but stays informative (the paper saw ~80%)."""
+        dataset = make_tiny_dataset(seed=14)
+        coverage = dataset_coverage_check(
+            dataset,
+            checkpoints=np.array([20, 60, 150, 400]),
+            runs=60,
+            rng=spawn_rng(9, "dc"),
+        )
+        assert 0.4 <= coverage <= 1.0
+
+    def test_more_conservative_z_raises_coverage(self):
+        dataset = make_tiny_dataset(seed=14)
+        rng_a = spawn_rng(10, "dc")
+        rng_b = spawn_rng(10, "dc")
+        narrow = dataset_coverage_check(
+            dataset, np.array([30, 100]), runs=40, rng=rng_a, z=1.0
+        )
+        wide = dataset_coverage_check(
+            dataset, np.array([30, 100]), runs=40, rng=rng_b, z=3.0
+        )
+        assert wide >= narrow

@@ -1,0 +1,120 @@
+"""Tests for the §III-D occupancy simulator (fast path vs literal path)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import expected_n1, expected_r
+from repro.errors import DatasetError
+from repro.theory.coin_sim import (
+    RunTuples,
+    first_two_appearances,
+    run_statistics_at,
+    simulate_many_runs,
+    simulate_run_fast,
+    simulate_run_literal,
+)
+from repro.utils.rng import spawn_rng
+
+
+class TestFirstTwoAppearances:
+    def test_ordering(self):
+        p = np.full(1000, 0.1)
+        t1, t2 = first_two_appearances(p, spawn_rng(0, "a"))
+        assert np.all(t1 >= 1)
+        assert np.all(t2 > t1)
+
+    def test_geometric_mean_gap(self):
+        p = np.full(50_000, 0.02)
+        t1, _ = first_two_appearances(p, spawn_rng(1, "a"))
+        assert np.mean(t1) == pytest.approx(50.0, rel=0.05)
+
+    def test_rejects_degenerate_probabilities(self):
+        with pytest.raises(DatasetError):
+            first_two_appearances(np.array([0.0]), spawn_rng(0, "a"))
+        with pytest.raises(DatasetError):
+            first_two_appearances(np.array([1.0]), spawn_rng(0, "a"))
+
+
+class TestRunStatistics:
+    def test_hand_computed_case(self):
+        p = np.array([0.5, 0.5, 0.5])
+        t1 = np.array([1, 3, 10])
+        t2 = np.array([2, 8, 12])
+        tuples = run_statistics_at(p, t1, t2, np.array([1, 4, 9, 11]))
+        # n=1: only instance 0 seen once; unseen = {1,2} -> R = 1.0
+        # n=4: inst0 seen twice, inst1 once; R = 0.5 (inst2 unseen)
+        # n=9: inst0 twice, inst1 twice; R = 0.5
+        # n=11: inst2 now seen once; R = 0
+        assert list(tuples.n1) == [1, 1, 0, 1]
+        assert list(tuples.r_next) == [1.0, 0.5, 0.5, 0.0]
+
+    def test_fast_matches_expectations(self):
+        """Fast-path means agree with the exact closed forms."""
+        p = spawn_rng(2, "p").uniform(0.001, 0.05, size=200)
+        checkpoints = np.array([10, 50, 200])
+        tuples = simulate_many_runs(p, checkpoints, 800, spawn_rng(3, "r"))
+        for i, n in enumerate(checkpoints):
+            mask = tuples.n == n
+            assert np.mean(tuples.n1[mask]) == pytest.approx(
+                expected_n1(p, int(n)), rel=0.08
+            )
+            assert np.mean(tuples.r_next[mask]) == pytest.approx(
+                expected_r(p, int(n)), rel=0.08
+            )
+
+    def test_fast_matches_literal_distribution(self):
+        """The appearance-time shortcut and literal coin tossing agree."""
+        p = np.array([0.05, 0.1, 0.02, 0.3, 0.15])
+        max_n = 40
+        checkpoints = np.arange(1, max_n + 1)
+        fast_n1 = []
+        lit_n1 = []
+        for seed in range(400):
+            fast = simulate_run_fast(p, checkpoints, spawn_rng(seed, "f"))
+            lit = simulate_run_literal(p, max_n, spawn_rng(seed, "l"))
+            fast_n1.append(fast.n1)
+            lit_n1.append(lit.n1)
+        fast_mean = np.mean(fast_n1, axis=0)
+        lit_mean = np.mean(lit_n1, axis=0)
+        assert np.allclose(fast_mean, lit_mean, atol=0.15)
+
+    def test_r_next_monotone_nonincreasing_per_run(self):
+        p = spawn_rng(4, "p").uniform(0.01, 0.1, size=50)
+        tuples = simulate_run_fast(p, np.arange(1, 100), spawn_rng(5, "r"))
+        assert np.all(np.diff(tuples.r_next) <= 1e-12)
+
+
+class TestRunTuples:
+    def test_at_exact_match(self):
+        tuples = RunTuples(
+            n=np.array([100, 100, 200]),
+            n1=np.array([5, 6, 5]),
+            r_next=np.array([0.1, 0.2, 0.3]),
+        )
+        values = tuples.at(100, 5, n_tolerance=0.0)
+        assert list(values) == [0.1]
+
+    def test_at_with_tolerance(self):
+        tuples = RunTuples(
+            n=np.array([95, 100, 105, 200]),
+            n1=np.array([5, 5, 5, 5]),
+            r_next=np.array([0.1, 0.2, 0.3, 0.9]),
+        )
+        values = tuples.at(100, 5, n_tolerance=0.06)
+        assert sorted(values) == [0.1, 0.2, 0.3]
+
+    def test_concatenate(self):
+        a = RunTuples(np.array([1]), np.array([0]), np.array([0.5]))
+        b = RunTuples(np.array([2]), np.array([1]), np.array([0.25]))
+        merged = RunTuples.concatenate([a, b])
+        assert merged.size == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(DatasetError):
+            RunTuples(np.array([1, 2]), np.array([0]), np.array([0.5]))
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(DatasetError):
+            simulate_many_runs(
+                np.array([0.1]), np.array([5]), 0, spawn_rng(0, "x")
+            )

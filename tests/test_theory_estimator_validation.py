@@ -1,0 +1,108 @@
+"""Tests for the Figure 2 validation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.theory.coin_sim import RunTuples, simulate_many_runs
+from repro.theory.estimator_validation import (
+    PAPER_FIGURE2_CELLS,
+    bias_profile,
+    cell_report,
+    populated_cells,
+    variance_bound_coverage,
+)
+from repro.theory.instances import lognormal_probabilities
+from repro.utils.rng import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def harvest():
+    p = lognormal_probabilities(300, spawn_rng(20, "ev"))
+    checkpoints = np.unique(
+        np.geomspace(10, 20_000, num=16).astype(np.int64)
+    )
+    return simulate_many_runs(p, checkpoints, 300, spawn_rng(21, "ev"))
+
+
+class TestPaperCells:
+    def test_six_cells_declared(self):
+        assert len(PAPER_FIGURE2_CELLS) == 6
+        # The paper's extreme cells are present.
+        assert (179601, 0) in PAPER_FIGURE2_CELLS
+        assert (82, 127) in PAPER_FIGURE2_CELLS
+
+
+class TestCellReport:
+    def test_returns_none_for_empty_cell(self, harvest):
+        assert cell_report(harvest, n=10, n1=9999) is None
+
+    def test_populated_cell_fields(self, harvest):
+        cells = populated_cells(harvest, num_cells=4)
+        assert cells
+        n, n1 = cells[0]
+        report = cell_report(harvest, n, n1)
+        assert report is not None
+        assert report.observations > 0
+        assert report.belief_mean > 0
+        assert 0.0 <= report.belief_coverage_95 <= 1.0
+        assert report.point_estimate == pytest.approx(n1 / n)
+
+    def test_belief_overestimates_on_average(self, harvest):
+        """Thm III.2: the belief/point estimate sits at or above the truth
+        (in expectation; allow slack per-cell)."""
+        ratios = []
+        for n, n1 in populated_cells(harvest, num_cells=6):
+            report = cell_report(harvest, n, n1)
+            if report is not None and report.true_mean > 0:
+                ratios.append(report.mean_ratio)
+        assert ratios
+        assert np.median(ratios) > 0.7  # never wildly under
+
+    def test_custom_priors_shift_belief(self, harvest):
+        cells = populated_cells(harvest, num_cells=3)
+        n, n1 = cells[-1]
+        small = cell_report(harvest, n, n1, alpha0=0.01)
+        large = cell_report(harvest, n, n1, alpha0=5.0)
+        assert large.belief_mean > small.belief_mean
+
+
+class TestPopulatedCells:
+    def test_spans_orders_of_magnitude(self, harvest):
+        cells = populated_cells(harvest, num_cells=6)
+        ns = [n for n, _ in cells]
+        assert max(ns) / max(min(ns), 1) > 50
+
+    def test_unique(self, harvest):
+        cells = populated_cells(harvest, num_cells=6)
+        assert len(cells) == len(set(cells))
+
+    def test_empty_harvest(self):
+        empty = RunTuples(
+            n=np.array([], dtype=np.int64),
+            n1=np.array([], dtype=np.int64),
+            r_next=np.array([]),
+        )
+        assert populated_cells(empty) == []
+
+
+class TestCoverageAndBias:
+    def test_coverage_bounded(self, harvest):
+        coverage = variance_bound_coverage(harvest)
+        assert 0.0 <= coverage <= 1.0
+        assert coverage > 0.5  # the bound is informative, not vacuous
+
+    def test_wider_z_more_coverage(self, harvest):
+        assert variance_bound_coverage(harvest, z=3.0) >= variance_bound_coverage(
+            harvest, z=1.0
+        )
+
+    def test_bias_profile_entries(self, harvest):
+        # Probe at n values that actually exist in the harvest grid.
+        probes = np.unique(harvest.n)[::4]
+        rows = bias_profile(harvest, probes.tolist())
+        assert len(rows) >= 2
+        for n, bias, estimate in rows:
+            assert estimate >= 0
+            # Bias is tiny relative to the estimate at mid-range n.
+            if n >= 100 and estimate > 0:
+                assert abs(bias) < max(0.5 * estimate, 0.05)

@@ -1,0 +1,182 @@
+"""Tests for instance populations and their placement/probability math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DatasetError
+from repro.theory.instances import (
+    InstancePopulation,
+    even_chunk_bounds,
+    lognormal_durations,
+    lognormal_probabilities,
+)
+from repro.utils.rng import spawn_rng
+
+
+class TestLognormalProbabilities:
+    def test_range(self):
+        p = lognormal_probabilities(1000, spawn_rng(0, "p"))
+        assert np.all(p > 0)
+        assert np.all(p <= 0.5)
+
+    def test_mean_approximately_target(self):
+        p = lognormal_probabilities(100_000, spawn_rng(1, "p"), mean_p=3e-3)
+        assert np.mean(p) == pytest.approx(3e-3, rel=0.15)
+
+    def test_heavy_skew_like_paper(self):
+        """§III-D: p spanning several orders of magnitude."""
+        p = lognormal_probabilities(1000, spawn_rng(2, "p"))
+        assert np.max(p) / np.min(p) > 1e3
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(DatasetError):
+            lognormal_probabilities(0, spawn_rng(0, "p"))
+        with pytest.raises(DatasetError):
+            lognormal_probabilities(10, spawn_rng(0, "p"), mean_p=1.5)
+
+
+class TestLognormalDurations:
+    def test_mean_matches_target(self):
+        d = lognormal_durations(100_000, 700, spawn_rng(3, "d"))
+        assert np.mean(d) == pytest.approx(700, rel=0.1)
+
+    def test_paper_spread(self):
+        """§IV-B: shortest ~50 frames, longest ~5000 for 2000 draws at 700."""
+        d = lognormal_durations(2000, 700, spawn_rng(4, "d"))
+        assert d.min() < 120
+        assert d.max() > 2500
+
+    def test_minimum_one_frame(self):
+        d = lognormal_durations(1000, 1.5, spawn_rng(5, "d"))
+        assert np.all(d >= 1)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(DatasetError):
+            lognormal_durations(10, 0, spawn_rng(0, "d"))
+
+
+class TestPlacement:
+    def test_instances_fit_timeline(self):
+        pop = InstancePopulation.place(
+            500, 50_000, 300, spawn_rng(6, "pl"), skew_fraction=1 / 16
+        )
+        assert np.all(pop.starts >= 0)
+        assert np.all(pop.ends <= 50_000)
+        assert pop.count == 500
+
+    def test_uniform_placement_spreads(self):
+        pop = InstancePopulation.place(2000, 100_000, 100, spawn_rng(7, "pl"))
+        mids = pop.midpoints
+        # Roughly a quarter in each quarter of the timeline.
+        quarter_counts = np.histogram(mids, bins=4, range=(0, 100_000))[0]
+        assert quarter_counts.min() > 350
+
+    def test_skewed_placement_concentrates(self):
+        pop = InstancePopulation.place(
+            2000, 100_000, 100, spawn_rng(8, "pl"), skew_fraction=1 / 32
+        )
+        central = np.abs(pop.midpoints - 50_000) < 100_000 / 64
+        # 95% of instances should land in the central 1/32.
+        assert np.mean(central) > 0.85
+
+    def test_custom_center(self):
+        pop = InstancePopulation.place(
+            1000, 100_000, 100, spawn_rng(9, "pl"),
+            skew_fraction=1 / 32, center=0.25,
+        )
+        assert abs(np.median(pop.midpoints) - 25_000) < 3000
+
+    def test_rejects_bad_skew(self):
+        with pytest.raises(DatasetError):
+            InstancePopulation.place(
+                10, 1000, 10, spawn_rng(0, "pl"), skew_fraction=2.0
+            )
+
+    def test_rejects_tiny_timeline(self):
+        with pytest.raises(DatasetError):
+            InstancePopulation.place(10, 1, 10, spawn_rng(0, "pl"))
+
+
+class TestDerivedQuantities:
+    @pytest.fixture
+    def pop(self):
+        return InstancePopulation(
+            starts=np.array([0, 10, 90]),
+            durations=np.array([5, 20, 10]),
+            total_frames=100,
+        )
+
+    def test_global_p(self, pop):
+        assert pop.global_p() == pytest.approx([0.05, 0.2, 0.1])
+
+    def test_visible_at(self, pop):
+        assert list(pop.visible_at(0)) == [0]
+        assert list(pop.visible_at(4)) == [0]
+        assert list(pop.visible_at(5)) == []
+        assert list(pop.visible_at(15)) == [1]
+        assert list(pop.visible_at(95)) == [2]
+
+    def test_visible_at_brute_force_agreement(self):
+        pop = InstancePopulation.place(100, 5000, 50, spawn_rng(10, "v"))
+        for frame in [0, 100, 2500, 4999]:
+            fast = set(pop.visible_at(frame))
+            brute = {
+                i
+                for i in range(pop.count)
+                if pop.starts[i] <= frame < pop.ends[i]
+            }
+            assert fast == brute
+
+    def test_chunk_probabilities_mass_conservation(self, pop):
+        """Σ_j p_ij * width_j must equal each instance's duration."""
+        bounds = np.array([0, 25, 50, 100])
+        p = pop.chunk_probabilities(bounds)
+        widths = np.diff(bounds)
+        recovered = p @ widths
+        assert recovered == pytest.approx(pop.durations.astype(float))
+
+    def test_chunk_probabilities_rows_in_unit(self, pop):
+        bounds = even_chunk_bounds(100, 10)
+        p = pop.chunk_probabilities(bounds)
+        assert np.all(p >= 0)
+        assert np.all(p <= 1)
+
+    def test_chunk_counts_sum_to_n(self, pop):
+        bounds = even_chunk_bounds(100, 4)
+        counts = pop.chunk_counts(bounds)
+        assert counts.sum() == pop.count
+
+    def test_validation_errors(self):
+        with pytest.raises(DatasetError):
+            InstancePopulation(
+                starts=np.array([0]), durations=np.array([0]), total_frames=10
+            )
+        with pytest.raises(DatasetError):
+            InstancePopulation(
+                starts=np.array([5]), durations=np.array([10]), total_frames=10
+            )
+
+
+class TestEvenChunkBounds:
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=50)
+    def test_partition_properties(self, total, chunks):
+        if chunks > total:
+            with pytest.raises(DatasetError):
+                even_chunk_bounds(total, chunks)
+            return
+        bounds = even_chunk_bounds(total, chunks)
+        assert bounds[0] == 0
+        assert bounds[-1] == total
+        assert len(bounds) == chunks + 1
+        assert np.all(np.diff(bounds) >= 1)
+
+    def test_near_equal_sizes(self):
+        bounds = even_chunk_bounds(100, 7)
+        sizes = np.diff(bounds)
+        assert sizes.max() - sizes.min() <= 1

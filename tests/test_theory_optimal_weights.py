@@ -1,0 +1,176 @@
+"""Tests for the Eq. IV.1 solver: feasibility, optimality, known cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import minimize
+
+from repro.errors import SolverError
+from repro.theory.optimal_weights import (
+    expected_found,
+    expected_found_curve,
+    optimal_curve,
+    optimal_weights,
+    project_to_simplex,
+    uniform_weights,
+)
+from repro.utils.rng import spawn_rng
+
+vectors = st.lists(
+    st.floats(min_value=-10, max_value=10), min_size=1, max_size=20
+).map(np.array)
+
+
+class TestSimplexProjection:
+    @given(vectors)
+    @settings(max_examples=60)
+    def test_output_in_simplex(self, v):
+        w = project_to_simplex(v)
+        assert np.all(w >= 0)
+        assert w.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(vectors)
+    @settings(max_examples=60)
+    def test_idempotent(self, v):
+        w = project_to_simplex(v)
+        again = project_to_simplex(w)
+        assert np.allclose(w, again, atol=1e-9)
+
+    @given(vectors)
+    @settings(max_examples=60)
+    def test_order_preserving(self, v):
+        w = project_to_simplex(v)
+        order_v = np.argsort(v, kind="stable")
+        assert np.all(np.diff(w[order_v]) >= -1e-9)
+
+    def test_already_simplex_unchanged(self):
+        w = np.array([0.2, 0.3, 0.5])
+        assert np.allclose(project_to_simplex(w), w)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(SolverError):
+            project_to_simplex(np.zeros((2, 2)))
+
+
+class TestExpectedFound:
+    def test_single_instance_closed_form(self):
+        p = np.array([[0.1, 0.0]])
+        w = np.array([1.0, 0.0])
+        assert expected_found(p, w, 10) == pytest.approx(1 - 0.9**10)
+
+    def test_monotone_in_n(self):
+        rng = spawn_rng(0, "ef")
+        p = rng.uniform(0, 0.01, size=(50, 4))
+        w = uniform_weights(4)
+        curve = expected_found_curve(p, w, np.array([10, 100, 1000]))
+        assert np.all(np.diff(curve) > 0)
+
+    def test_bounded_by_population(self):
+        rng = spawn_rng(1, "ef")
+        p = rng.uniform(0, 0.05, size=(30, 3))
+        w = uniform_weights(3)
+        assert expected_found(p, w, 10**6) <= 30 + 1e-9
+
+    def test_numerically_stable_tiny_p(self):
+        p = np.full((10, 2), 1e-9)
+        value = expected_found(p, uniform_weights(2), 1000)
+        assert value == pytest.approx(10 * (1e-9 * 1000), rel=0.01)
+
+
+class TestOptimalWeights:
+    def test_symmetric_problem_yields_uniform(self):
+        """Equal chunks -> uniform is optimal (§IV-A)."""
+        p = np.tile(np.array([[0.01, 0.01]]), (20, 1))
+        w = optimal_weights(p, 100)
+        assert w == pytest.approx([0.5, 0.5], abs=0.02)
+
+    def test_concentrates_on_dominant_chunk(self):
+        """All instances in chunk 0 -> all weight goes there."""
+        p = np.zeros((10, 3))
+        p[:, 0] = 0.02
+        w = optimal_weights(p, 200)
+        assert w[0] > 0.98
+
+    def test_improves_on_uniform(self):
+        rng = spawn_rng(2, "ow")
+        p = np.zeros((100, 8))
+        # Skewed: most instances live in two chunks.
+        chunk_of = rng.choice([0, 1, 1, 1, 2], size=100)
+        p[np.arange(100), chunk_of] = rng.uniform(0.001, 0.02, size=100)
+        n = 500
+        w = optimal_weights(p, n)
+        assert expected_found(p, w, n) >= expected_found(
+            p, uniform_weights(8), n
+        ) - 1e-9
+
+    def test_matches_slsqp_reference(self):
+        """Cross-check projected gradient against scipy's SLSQP."""
+        rng = spawn_rng(3, "ow")
+        p = rng.uniform(0, 0.01, size=(40, 5))
+        n = 300.0
+        ours = optimal_weights(p, n)
+
+        def negative_objective(w):
+            return -expected_found(p, w, n)
+
+        reference = minimize(
+            negative_objective,
+            uniform_weights(5),
+            method="SLSQP",
+            bounds=[(0, 1)] * 5,
+            constraints=[{"type": "eq", "fun": lambda w: w.sum() - 1}],
+        )
+        assert expected_found(p, ours, n) == pytest.approx(
+            -reference.fun, rel=1e-3
+        )
+
+    def test_two_chunk_brute_force(self):
+        """M=2 lets us brute-force the optimum over a fine grid."""
+        rng = spawn_rng(4, "ow")
+        p = rng.uniform(0, 0.03, size=(30, 2))
+        p[:20, 1] = 0.0  # chunk 0 much richer
+        n = 150.0
+        ours = optimal_weights(p, n)
+        grid = np.linspace(0, 1, 2001)
+        values = [
+            expected_found(p, np.array([g, 1 - g]), n) for g in grid
+        ]
+        best = max(values)
+        assert expected_found(p, ours, n) == pytest.approx(best, rel=1e-4)
+
+    def test_budget_dependence(self):
+        """Small budgets chase the dense chunk; larger budgets spread out."""
+        p = np.zeros((101, 2))
+        p[:100, 0] = 0.05   # 100 instances in chunk 0
+        p[100, 1] = 0.001  # 1 rare instance in chunk 1
+        w_small = optimal_weights(p, 10)
+        w_large = optimal_weights(p, 100_000)
+        assert w_small[0] > 0.9
+        assert w_large[1] > w_small[1]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SolverError):
+            optimal_weights(np.zeros((0, 2)), 10)
+        with pytest.raises(SolverError):
+            optimal_weights(np.zeros(5), 10)
+        with pytest.raises(SolverError):
+            optimal_weights(np.zeros((2, 2)), 0)
+
+
+class TestOptimalCurve:
+    def test_nondecreasing(self):
+        rng = spawn_rng(5, "oc")
+        p = rng.uniform(0, 0.01, size=(50, 4))
+        curve = optimal_curve(p, np.array([10.0, 100.0, 1000.0]))
+        assert np.all(np.diff(curve) >= -1e-6)
+
+    def test_dominates_uniform_curve(self):
+        rng = spawn_rng(6, "oc")
+        p = np.zeros((60, 4))
+        chunk_of = rng.choice([0, 0, 0, 1], size=60)
+        p[np.arange(60), chunk_of] = 0.01
+        grid = np.array([50.0, 200.0])
+        opt = optimal_curve(p, grid)
+        uni = expected_found_curve(p, uniform_weights(4), grid)
+        assert np.all(opt >= uni - 1e-6)

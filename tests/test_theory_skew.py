@@ -1,0 +1,109 @@
+"""Tests for the Figure 6 skew metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DatasetError
+from repro.theory.skew import SkewSummary, half_cover_mask, k_half, skew_metric
+
+counts_arrays = st.lists(
+    st.integers(min_value=0, max_value=1000), min_size=1, max_size=64
+).filter(lambda c: sum(c) > 0).map(lambda c: np.array(c))
+
+
+class TestKHalf:
+    def test_uniform_counts(self):
+        assert k_half(np.full(10, 7)) == 5
+
+    def test_single_dominant_chunk(self):
+        counts = np.array([100, 1, 1, 1, 1])
+        assert k_half(counts) == 1
+
+    def test_all_in_one(self):
+        counts = np.array([0, 50, 0, 0])
+        assert k_half(counts) == 1
+
+    def test_odd_uniform(self):
+        # 3 chunks of 10: half of 30 is 15, needs 2 chunks.
+        assert k_half(np.full(3, 10)) == 2
+
+    @given(counts_arrays)
+    @settings(max_examples=60)
+    def test_bounds(self, counts):
+        k = k_half(counts)
+        nonzero = int(np.sum(counts > 0))
+        assert 1 <= k <= nonzero
+
+    @given(counts_arrays)
+    @settings(max_examples=60)
+    def test_actually_covers(self, counts):
+        k = k_half(counts)
+        top = np.sort(counts)[::-1][:k]
+        assert top.sum() >= counts.sum() / 2 - 1e-9
+
+    @given(counts_arrays)
+    @settings(max_examples=60)
+    def test_minimality(self, counts):
+        k = k_half(counts)
+        if k > 1:
+            top = np.sort(counts)[::-1][: k - 1]
+            assert top.sum() < counts.sum() / 2
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(DatasetError):
+            k_half(np.array([]))
+        with pytest.raises(DatasetError):
+            k_half(np.array([-1, 5]))
+        with pytest.raises(DatasetError):
+            k_half(np.array([0, 0]))
+
+
+class TestSkewMetric:
+    def test_uniform_is_one(self):
+        assert skew_metric(np.full(10, 3)) == pytest.approx(1.0)
+
+    def test_maximum_concentration(self):
+        counts = np.zeros(30)
+        counts[0] = 100
+        assert skew_metric(counts) == pytest.approx(15.0)
+
+    def test_paper_exemplar_shape(self):
+        """A dashcam-bicycle-like layout: ~30 chunks, half in one chunk."""
+        counts = np.ones(29)
+        counts[7] = 35  # > half of total
+        s = skew_metric(counts)
+        assert 13 <= s <= 15  # the paper labels S=14
+
+    @given(counts_arrays)
+    @settings(max_examples=60)
+    def test_positive(self, counts):
+        assert skew_metric(counts) > 0
+
+
+class TestHalfCoverMask:
+    def test_size_matches_k_half(self):
+        counts = np.array([5, 1, 9, 2, 9])
+        mask = half_cover_mask(counts)
+        assert mask.sum() == k_half(counts)
+
+    def test_covers_half(self):
+        counts = np.array([5, 1, 9, 2, 9])
+        mask = half_cover_mask(counts)
+        assert counts[mask].sum() >= counts.sum() / 2
+
+
+class TestSkewSummary:
+    def test_from_counts(self):
+        summary = SkewSummary.from_counts(np.array([10, 0, 0, 0]))
+        assert summary.total_instances == 10
+        assert summary.k_half == 1
+        assert summary.skew == pytest.approx(2.0)
+
+    def test_bar_chart_renders(self):
+        summary = SkewSummary.from_counts(np.array([10, 2, 30, 1]))
+        chart = summary.bar_chart()
+        assert "N=43" in chart
+        assert "S=" in chart
+        assert "#" in chart

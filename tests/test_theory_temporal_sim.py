@@ -1,0 +1,99 @@
+"""Tests for the §IV temporal simulation environment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.theory.instances import InstancePopulation, even_chunk_bounds
+from repro.theory.temporal_sim import TemporalEnvironment
+
+
+@pytest.fixture
+def pop():
+    return InstancePopulation(
+        starts=np.array([0, 40, 85]),
+        durations=np.array([10, 30, 10]),
+        total_frames=100,
+    )
+
+
+class TestConstruction:
+    def test_even_chunks(self, pop):
+        env = TemporalEnvironment.with_even_chunks(pop, 4)
+        assert list(env.chunk_sizes()) == [25, 25, 25, 25]
+
+    def test_bounds_must_span_timeline(self, pop):
+        with pytest.raises(DatasetError):
+            TemporalEnvironment(pop, np.array([0, 50]))
+        with pytest.raises(DatasetError):
+            TemporalEnvironment(pop, np.array([10, 100]))
+
+    def test_bounds_must_increase(self, pop):
+        with pytest.raises(DatasetError):
+            TemporalEnvironment(pop, np.array([0, 50, 50, 100]))
+
+
+class TestObserve:
+    def test_first_sighting_new(self, pop):
+        env = TemporalEnvironment.with_even_chunks(pop, 4)
+        obs = env.observe(0, 5)  # frame 5: instance 0 visible
+        assert obs.d0 == 1
+        assert obs.d1 == 0
+        assert obs.results == [0]
+
+    def test_second_sighting_is_d1_not_result(self, pop):
+        env = TemporalEnvironment.with_even_chunks(pop, 4)
+        env.observe(0, 5)
+        obs = env.observe(0, 7)  # instance 0 again
+        assert obs.d0 == 0
+        assert obs.d1 == 1
+        assert obs.results == []
+
+    def test_empty_frame(self, pop):
+        env = TemporalEnvironment.with_even_chunks(pop, 4)
+        obs = env.observe(0, 20)  # nothing visible
+        assert (obs.d0, obs.d1) == (0, 0)
+
+    def test_instance_spanning_chunks(self, pop):
+        """Instance 1 covers frames [40, 70): chunks 1 and 2."""
+        env = TemporalEnvironment.with_even_chunks(pop, 4)
+        first = env.observe(1, 20)   # global frame 45
+        second = env.observe(2, 10)  # global frame 60
+        assert first.d0 == 1
+        assert second.d0 == 0
+        assert second.d1 == 1
+
+    def test_cost_parameter(self, pop):
+        env = TemporalEnvironment.with_even_chunks(pop, 4, frame_cost=2.5)
+        assert env.observe(0, 0).cost == 2.5
+
+    def test_frame_out_of_chunk_rejected(self, pop):
+        env = TemporalEnvironment.with_even_chunks(pop, 4)
+        with pytest.raises(DatasetError):
+            env.observe(0, 30)
+
+    def test_reset_forgets(self, pop):
+        env = TemporalEnvironment.with_even_chunks(pop, 4)
+        env.observe(0, 5)
+        env.reset()
+        obs = env.observe(0, 5)
+        assert obs.d0 == 1
+
+    def test_distinct_found_tracks_counter(self, pop):
+        env = TemporalEnvironment.with_even_chunks(pop, 4)
+        env.observe(0, 5)
+        env.observe(1, 20)
+        assert env.distinct_found() == 2
+
+
+class TestVisibleInstances:
+    def test_matches_population(self, pop):
+        env = TemporalEnvironment.with_even_chunks(pop, 4)
+        for frame in range(0, 100, 7):
+            assert set(env.visible_instances(frame)) == set(
+                pop.visible_at(frame)
+            )
+
+    def test_num_instances(self, pop):
+        env = TemporalEnvironment.with_even_chunks(pop, 4)
+        assert env.num_instances == 3

@@ -1,0 +1,181 @@
+"""Tests for the distinct-object discriminator."""
+
+import pytest
+
+from repro.detection.detections import Detection
+from repro.detection.simulated import PERFECT_PROFILE, SimulatedDetector
+from repro.errors import ConfigError
+from repro.tracking.discriminator import TrackDiscriminator
+from repro.tracking.tracks import Track
+from repro.video.geometry import BoundingBox
+
+from tests.conftest import make_tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_tiny_dataset(seed=2)
+
+
+@pytest.fixture(scope="module")
+def detector(dataset):
+    return SimulatedDetector(dataset.world, profile=PERFECT_PROFILE, seed=0)
+
+
+def find_frames_of(dataset, uid, count=3):
+    """A few frames where instance ``uid`` is visible."""
+    inst = dataset.world.instances[uid]
+    span = inst.end - inst.start
+    return inst.video, [
+        inst.start + (span * k) // count for k in range(count)
+    ]
+
+
+class TestDiscriminatorBasics:
+    def test_first_sighting_is_new(self, dataset, detector):
+        discrim = TrackDiscriminator(dataset.world, track_loss_per_frame=0.0)
+        inst = dataset.world.instances[0]
+        video, frames = find_frames_of(dataset, 0)
+        dets = detector.detect(video, frames[0], class_filter=inst.class_name)
+        dets = [d for d in dets if d.instance_uid == 0]
+        d0, d1, new = discrim.observe(video, frames[0], dets)
+        assert len(d0) == 1
+        assert len(d1) == 0
+        assert len(new) == 1
+        assert new[0].instance is dataset.world.instances[0]
+
+    def test_resighting_matches(self, dataset, detector):
+        discrim = TrackDiscriminator(dataset.world, track_loss_per_frame=0.0)
+        inst = dataset.world.instances[0]
+        video, frames = find_frames_of(dataset, 0)
+        for i, frame in enumerate(frames):
+            dets = [
+                d
+                for d in detector.detect(video, frame, class_filter=inst.class_name)
+                if d.instance_uid == 0
+            ]
+            d0, d1, _ = discrim.observe(video, frame, dets)
+            if i == 0:
+                assert len(d0) == 1
+            else:
+                assert len(d0) == 0
+            if i == 1:
+                assert len(d1) == 1  # second sighting: track had times_seen 1
+            if i == 2:
+                assert len(d1) == 0  # third sighting: track already seen twice
+        assert discrim.num_tracks == 1
+
+    def test_different_instances_both_new(self, dataset, detector):
+        discrim = TrackDiscriminator(dataset.world, track_loss_per_frame=0.0)
+        found = set()
+        for video in (0, 1):
+            for frame in range(0, 1200, 11):
+                dets = detector.detect(video, frame)
+                d0, _, _ = discrim.observe(video, frame, dets)
+                for det in d0:
+                    assert det.instance_uid not in found, "duplicate result"
+                    found.add(det.instance_uid)
+        assert len(found) == discrim.num_tracks
+        assert discrim.distinct_real_instances() == len(found)
+
+    def test_false_positive_creates_point_track(self, dataset):
+        discrim = TrackDiscriminator(dataset.world)
+        fp = Detection(
+            video=0, frame=500, box=BoundingBox(10, 10, 60, 60),
+            class_name="car", score=0.3, instance_uid=None,
+        )
+        d0, d1, new = discrim.observe(0, 500, [fp])
+        assert len(d0) == 1
+        track = new[0]
+        assert track.is_false_positive
+        assert track.covers(0, 500)
+        assert not track.covers(0, 501)
+
+
+class TestTrackLoss:
+    def test_zero_loss_covers_instance(self, dataset, detector):
+        discrim = TrackDiscriminator(dataset.world, track_loss_per_frame=0.0)
+        inst = dataset.world.instances[3]
+        video, frames = find_frames_of(dataset, 3)
+        dets = [
+            d
+            for d in detector.detect(video, frames[1], class_filter=inst.class_name)
+            if d.instance_uid == 3
+        ]
+        _, _, new = discrim.observe(video, frames[1], dets)
+        track = new[0]
+        assert track.start == inst.start
+        assert track.end == inst.end
+
+    def test_high_loss_truncates(self, dataset, detector):
+        discrim = TrackDiscriminator(
+            dataset.world, track_loss_per_frame=0.5, seed=1
+        )
+        inst = dataset.world.instances[3]
+        video, frames = find_frames_of(dataset, 3)
+        dets = [
+            d
+            for d in detector.detect(video, frames[1], class_filter=inst.class_name)
+            if d.instance_uid == 3
+        ]
+        _, _, new = discrim.observe(video, frames[1], dets)
+        track = new[0]
+        assert track.end - track.start < inst.duration
+
+
+class TestPaperCallingConvention:
+    def test_get_matches_then_add(self, dataset, detector):
+        """The Algorithm 1 two-call sequence must agree with observe()."""
+        inst = dataset.world.instances[0]
+        video, frames = find_frames_of(dataset, 0)
+        dets = [
+            d
+            for d in detector.detect(video, frames[0], class_filter=inst.class_name)
+            if d.instance_uid == 0
+        ]
+        discrim = TrackDiscriminator(dataset.world, track_loss_per_frame=0.0)
+        d0, d1 = discrim.get_matches(video, frames[0], dets)
+        assert len(d0) == 1
+        assert discrim.num_tracks == 0  # get_matches must not mutate
+        new = discrim.add(video, frames[0], dets)
+        assert len(new) == 1
+        assert discrim.num_tracks == 1
+
+    def test_add_without_get_matches_still_works(self, dataset, detector):
+        inst = dataset.world.instances[0]
+        video, frames = find_frames_of(dataset, 0)
+        dets = [
+            d
+            for d in detector.detect(video, frames[0], class_filter=inst.class_name)
+            if d.instance_uid == 0
+        ]
+        discrim = TrackDiscriminator(dataset.world, track_loss_per_frame=0.0)
+        new = discrim.add(video, frames[0], dets)
+        assert len(new) == 1
+
+
+class TestTrackValidation:
+    def test_track_interval_must_be_inside_instance(self, dataset):
+        inst = dataset.world.instances[0]
+        with pytest.raises(Exception):
+            Track(
+                track_id=0, class_name=inst.class_name, video=inst.video,
+                start=inst.start - 10, end=inst.end,
+                instance=inst, anchor_box=BoundingBox(0, 0, 1, 1),
+            )
+
+    def test_discriminator_validation(self, dataset):
+        with pytest.raises(ConfigError):
+            TrackDiscriminator(dataset.world, iou_threshold=0)
+        with pytest.raises(ConfigError):
+            TrackDiscriminator(dataset.world, track_loss_per_frame=1.0)
+
+    def test_box_at_outside_interval(self, dataset):
+        inst = dataset.world.instances[0]
+        track = Track(
+            track_id=0, class_name=inst.class_name, video=inst.video,
+            start=inst.start, end=inst.end,
+            instance=inst, anchor_box=inst.entry_box,
+        )
+        with pytest.raises(Exception):
+            track.box_at(inst.end)

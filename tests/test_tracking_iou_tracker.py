@@ -1,0 +1,142 @@
+"""Tests for the online IoU tracker and ground-truth building."""
+
+import pytest
+
+from repro.detection.simulated import (
+    PERFECT_PROFILE,
+    DetectorProfile,
+    SimulatedDetector,
+)
+from repro.errors import ConfigError
+from repro.tracking.groundtruth import approximate_ground_truth
+from repro.tracking.iou_tracker import OnlineIoUTracker
+from repro.detection.detections import Detection
+from repro.video.geometry import BoundingBox
+
+from tests.conftest import make_tiny_dataset
+
+
+def _det(video, frame, x, cls="car", uid=None, size=50.0):
+    return Detection(
+        video=video, frame=frame,
+        box=BoundingBox(x, 100, x + size, 100 + size),
+        class_name=cls, score=0.9, instance_uid=uid,
+    )
+
+
+class TestOnlineTracker:
+    def test_single_object_single_track(self):
+        tracker = OnlineIoUTracker(iou_threshold=0.3, max_frame_gap=5)
+        for frame in range(10):
+            tracker.process_frame(0, frame, [_det(0, frame, x=100 + frame * 2)])
+        tracks = tracker.results()
+        assert len(tracks) == 1
+        assert tracks[0].detections == 10
+        assert tracks[0].span == 10
+
+    def test_two_disjoint_objects_two_tracks(self):
+        tracker = OnlineIoUTracker(iou_threshold=0.3, max_frame_gap=5)
+        for frame in range(10):
+            tracker.process_frame(
+                0, frame,
+                [_det(0, frame, x=100), _det(0, frame, x=400)],
+            )
+        assert len(tracker.results()) == 2
+
+    def test_gap_splits_track(self):
+        tracker = OnlineIoUTracker(iou_threshold=0.3, max_frame_gap=3)
+        for frame in range(5):
+            tracker.process_frame(0, frame, [_det(0, frame, x=100)])
+        for frame in range(5, 20):
+            tracker.process_frame(0, frame, [])
+        tracker.process_frame(0, 20, [_det(0, 20, x=100)])
+        assert len(tracker.results()) == 2
+
+    def test_gap_within_tolerance_joins(self):
+        tracker = OnlineIoUTracker(iou_threshold=0.3, max_frame_gap=10)
+        tracker.process_frame(0, 0, [_det(0, 0, x=100)])
+        tracker.process_frame(0, 5, [_det(0, 5, x=100)])
+        assert len(tracker.results()) == 1
+
+    def test_class_mismatch_never_matches(self):
+        tracker = OnlineIoUTracker(iou_threshold=0.3, max_frame_gap=5)
+        tracker.process_frame(0, 0, [_det(0, 0, x=100, cls="car")])
+        tracker.process_frame(0, 1, [_det(0, 1, x=100, cls="dog")])
+        assert len(tracker.results()) == 2
+
+    def test_video_switch_flushes(self):
+        tracker = OnlineIoUTracker(iou_threshold=0.3, max_frame_gap=100)
+        tracker.process_frame(0, 0, [_det(0, 0, x=100)])
+        tracker.process_frame(1, 1, [_det(1, 1, x=100)])
+        assert len(tracker.results()) == 2
+
+    def test_majority_instance_vote(self):
+        tracker = OnlineIoUTracker(iou_threshold=0.3, max_frame_gap=5)
+        tracker.process_frame(0, 0, [_det(0, 0, x=100, uid=7)])
+        tracker.process_frame(0, 1, [_det(0, 1, x=100, uid=7)])
+        tracker.process_frame(0, 2, [_det(0, 2, x=100, uid=9)])
+        track = tracker.results()[0]
+        assert track.majority_instance() == 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OnlineIoUTracker(iou_threshold=0)
+        with pytest.raises(ConfigError):
+            OnlineIoUTracker(max_frame_gap=0)
+
+
+class TestGroundTruthBuilding:
+    def test_perfect_detector_recovers_counts(self):
+        """§V-A's scan+track pipeline should recover true instance counts
+        (within a small tolerance for crossing/overlapping objects)."""
+        dataset = make_tiny_dataset(seed=4)
+        detector = SimulatedDetector(
+            dataset.world, profile=PERFECT_PROFILE, seed=0
+        )
+        table = approximate_ground_truth(dataset, detector, stride=1)
+        for class_name in dataset.classes:
+            true = dataset.gt_count(class_name)
+            approx = table.count(class_name)
+            assert abs(approx - true) <= max(0.25 * true, 2)
+
+    def test_noisy_detector_still_reasonable(self):
+        dataset = make_tiny_dataset(seed=4)
+        detector = SimulatedDetector(
+            dataset.world,
+            profile=DetectorProfile(
+                miss_rate=0.1, false_positives_per_frame=0.01
+            ),
+            seed=0,
+        )
+        table = approximate_ground_truth(
+            dataset, detector, stride=1, min_track_detections=3
+        )
+        true_total = dataset.world.num_instances
+        approx_total = sum(table.count(c) for c in table.classes())
+        assert 0.5 * true_total <= approx_total <= 2.0 * true_total
+
+    def test_stride_reduces_work(self):
+        dataset = make_tiny_dataset(seed=4)
+        detector = SimulatedDetector(
+            dataset.world, profile=PERFECT_PROFILE, seed=0
+        )
+        table = approximate_ground_truth(dataset, detector, stride=10)
+        assert table.frames_scanned == pytest.approx(
+            dataset.total_frames / 10, rel=0.01
+        )
+
+    def test_distinct_real_instances(self):
+        dataset = make_tiny_dataset(seed=4)
+        detector = SimulatedDetector(
+            dataset.world, profile=PERFECT_PROFILE, seed=0
+        )
+        table = approximate_ground_truth(dataset, detector, stride=1)
+        for class_name in table.classes():
+            assert table.distinct_real_instances(class_name) <= dataset.gt_count(
+                class_name
+            ) + 1
+
+    def test_rejects_bad_stride(self):
+        dataset = make_tiny_dataset(seed=4)
+        with pytest.raises(ConfigError):
+            approximate_ground_truth(dataset, stride=0)

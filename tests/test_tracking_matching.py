@@ -1,0 +1,100 @@
+"""Tests for IoU assignment (greedy and Hungarian)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.tracking.matching import greedy_match, hungarian_match
+
+matrices = st.integers(min_value=0, max_value=6).flatmap(
+    lambda rows: st.integers(min_value=0, max_value=6).flatmap(
+        lambda cols: st.lists(
+            st.lists(st.floats(min_value=0, max_value=1), min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        ).map(lambda m: np.array(m).reshape(rows, cols))
+    )
+)
+
+
+class TestGreedyMatch:
+    def test_identity_matrix(self):
+        pairs = greedy_match(np.eye(3), threshold=0.5)
+        assert sorted(pairs) == [(0, 0), (1, 1), (2, 2)]
+
+    def test_threshold_filters(self):
+        iou = np.array([[0.9, 0.0], [0.0, 0.2]])
+        pairs = greedy_match(iou, threshold=0.3)
+        assert pairs == [(0, 0)]
+
+    def test_picks_best_first(self):
+        # Row 0 prefers col 1 (0.8) even though col 0 would match (0.5).
+        iou = np.array([[0.5, 0.8], [0.6, 0.1]])
+        pairs = greedy_match(iou, threshold=0.3)
+        assert (0, 1) in pairs
+        assert (1, 0) in pairs
+
+    def test_empty_matrix(self):
+        assert greedy_match(np.zeros((0, 3))) == []
+        assert greedy_match(np.zeros((3, 0))) == []
+
+    @given(matrices)
+    @settings(max_examples=50)
+    def test_one_to_one(self, iou):
+        pairs = greedy_match(iou, threshold=0.3)
+        rows = [r for r, _ in pairs]
+        cols = [c for _, c in pairs]
+        assert len(rows) == len(set(rows))
+        assert len(cols) == len(set(cols))
+        for r, c in pairs:
+            assert iou[r, c] >= 0.3
+
+
+class TestHungarianMatch:
+    def test_identity_matrix(self):
+        pairs = hungarian_match(np.eye(3), threshold=0.5)
+        assert sorted(pairs) == [(0, 0), (1, 1), (2, 2)]
+
+    def test_finds_global_optimum_where_greedy_fails(self):
+        # Greedy takes (0,0)=0.9 forcing (1,1)=0.35; optimal total is
+        # (0,1)=0.8 + (1,0)=0.8.
+        iou = np.array([[0.9, 0.8], [0.8, 0.35]])
+        hung = hungarian_match(iou, threshold=0.3)
+        total_hung = sum(iou[r, c] for r, c in hung)
+        greedy = greedy_match(iou, threshold=0.3)
+        total_greedy = sum(iou[r, c] for r, c in greedy)
+        assert total_hung >= total_greedy
+        assert total_hung == pytest.approx(1.6)
+
+    @given(matrices)
+    @settings(max_examples=50)
+    def test_one_to_one_and_thresholded(self, iou):
+        pairs = hungarian_match(iou, threshold=0.3)
+        rows = [r for r, _ in pairs]
+        assert len(rows) == len(set(rows))
+        for r, c in pairs:
+            assert iou[r, c] >= 0.3
+
+    @given(matrices)
+    @settings(max_examples=50)
+    def test_hungarian_total_at_least_greedy(self, iou):
+        hung = hungarian_match(iou, threshold=0.3)
+        greedy = greedy_match(iou, threshold=0.3)
+        total_hung = sum(iou[r, c] for r, c in hung)
+        total_greedy = sum(iou[r, c] for r, c in greedy)
+        # Hungarian maximises total weight; allow tiny float slack.
+        assert total_hung >= total_greedy - 1e-9 or len(hung) >= len(greedy)
+
+
+class TestValidation:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigError):
+            greedy_match(np.zeros(3))
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigError):
+            greedy_match(np.zeros((2, 2)), threshold=0)
+        with pytest.raises(ConfigError):
+            hungarian_match(np.zeros((2, 2)), threshold=1.5)

@@ -1,0 +1,117 @@
+"""Tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    geometric_mean,
+    median_and_band,
+    percentile_of,
+    running_max,
+    trapezoid_auc,
+)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([2.0, 0.5]) == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.7]) == pytest.approx(3.7)
+
+    def test_paper_style_ratios(self):
+        # A mix like Figure 5's bars: mostly >1 with one slowdown.
+        ratios = [6.0, 3.7, 1.9, 1.2, 0.75]
+        gm = geometric_mean(ratios)
+        assert 1.0 < gm < 3.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100.0),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=10))
+    def test_scale_equivariance(self, values):
+        gm = geometric_mean(values)
+        scaled = geometric_mean([v * 2 for v in values])
+        assert scaled == pytest.approx(2 * gm, rel=1e-9)
+
+
+class TestMedianAndBand:
+    def test_shapes(self):
+        runs = np.arange(30).reshape(3, 10)
+        med, lo, hi = median_and_band(runs)
+        assert med.shape == lo.shape == hi.shape == (10,)
+
+    def test_ordering(self):
+        rng = np.random.default_rng(0)
+        runs = rng.random((21, 15))
+        med, lo, hi = median_and_band(runs)
+        assert np.all(lo <= med + 1e-12)
+        assert np.all(med <= hi + 1e-12)
+
+    def test_identical_runs_collapse(self):
+        runs = np.tile(np.arange(5.0), (4, 1))
+        med, lo, hi = median_and_band(runs)
+        assert np.array_equal(med, lo)
+        assert np.array_equal(med, hi)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            median_and_band(np.arange(5.0))
+
+
+class TestRunningMax:
+    def test_monotone(self):
+        out = running_max([1, 3, 2, 5, 4])
+        assert list(out) == [1, 3, 3, 5, 5]
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e9, max_value=1e9), min_size=1))
+    def test_never_decreases(self, values):
+        out = running_max(values)
+        assert np.all(np.diff(out) >= 0)
+
+
+class TestTrapezoidAuc:
+    def test_constant_curve(self):
+        assert trapezoid_auc([0, 1, 2], [5, 5, 5]) == pytest.approx(5.0)
+
+    def test_linear_curve(self):
+        assert trapezoid_auc([0, 10], [0, 10]) == pytest.approx(5.0)
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            trapezoid_auc([1], [1])
+
+    def test_rejects_non_increasing_x(self):
+        with pytest.raises(ValueError):
+            trapezoid_auc([3, 1], [0, 0])
+
+
+class TestPercentileOf:
+    def test_median(self):
+        assert percentile_of([1, 2, 3, 4, 5], 0.5) == pytest.approx(3.0)
+
+    def test_extremes(self):
+        values = list(range(11))
+        assert percentile_of(values, 0.0) == 0
+        assert percentile_of(values, 1.0) == 10

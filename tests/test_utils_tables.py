@@ -1,0 +1,74 @@
+"""Tests for the text rendering helpers."""
+
+import pytest
+
+from repro.utils.tables import ascii_table, format_duration, sparkline
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (52, "52s"),
+            (97, "1m37s"),
+            (537, "8m57s"),
+            (2460, "41m"),
+            (35400, "9h50m"),
+            (3600, "1h"),
+            (0, "0s"),
+            (27060, "7h31m"),  # the paper's night-street/motorcycle@90%
+        ],
+    )
+    def test_paper_table_values(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_rounds_fractional_seconds(self):
+        assert format_duration(89.6) == "1m30s"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)
+
+
+class TestAsciiTable:
+    def test_contains_all_cells(self):
+        out = ascii_table(["a", "bb"], [["x", 1], ["yy", 22]])
+        assert "x" in out and "yy" in out and "22" in out
+
+    def test_title_first_line(self):
+        out = ascii_table(["a"], [["1"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        out = ascii_table(["name", "value"], [["a", 1], ["bc", 234]])
+        lines = out.splitlines()
+        # All rows share a width.
+        widths = {len(line) for line in lines if line}
+        assert len(widths) <= 2  # header separator may differ slightly
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        out = ascii_table(["v"], [[1.23456], [2.0]])
+        assert "1.23" in out
+        assert "2" in out
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        out = sparkline([3, 3, 3])
+        assert out == out[0] * 3
+
+    def test_rising_series_ends_high(self):
+        out = sparkline(list(range(20)), width=20)
+        assert out[-1] == "█"
+        assert out[0] == "▁"
+
+    def test_downsamples_to_width(self):
+        out = sparkline(list(range(1000)), width=40)
+        assert len(out) == 40

@@ -1,0 +1,104 @@
+"""Tests for the six evaluation dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.theory.skew import skew_metric
+from repro.video.datasets import DATASET_BUILDERS, make_dataset
+
+
+class TestRegistry:
+    def test_six_datasets(self):
+        assert sorted(DATASET_BUILDERS) == [
+            "amsterdam",
+            "archie",
+            "bdd1k",
+            "bdd_mot",
+            "dashcam",
+            "night_street",
+        ]
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            make_dataset("kitti")
+
+    def test_bad_scale(self):
+        with pytest.raises(DatasetError):
+            make_dataset("dashcam", scale=0)
+        with pytest.raises(DatasetError):
+            make_dataset("dashcam", scale=1.5)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", sorted(DATASET_BUILDERS))
+    def test_builds_and_is_consistent(self, name):
+        ds = make_dataset(name, scale=0.02, seed=0)
+        assert ds.total_frames > 0
+        assert ds.chunk_map.sizes().sum() == ds.total_frames
+        assert ds.world.num_instances > 0
+        assert len(ds.classes) >= 6
+        for class_name in ds.classes:
+            assert ds.gt_count(class_name) > 0
+
+    def test_cameras(self):
+        assert make_dataset("dashcam", scale=0.02).camera == "moving"
+        assert make_dataset("amsterdam", scale=0.02).camera == "static"
+
+    def test_bdd_one_chunk_per_clip(self):
+        ds = make_dataset("bdd1k", scale=0.03, seed=0)
+        assert ds.chunk_map.num_chunks == ds.repository.num_videos
+
+    def test_static_sets_keep_chunk_count_across_scales(self):
+        """Scaling shrinks frames but preserves the ~60-chunk structure."""
+        small = make_dataset("amsterdam", scale=0.05, seed=0)
+        assert 55 <= small.chunk_map.num_chunks <= 65
+
+    def test_dashcam_chunk_count(self):
+        ds = make_dataset("dashcam", scale=0.05, seed=0)
+        assert 25 <= ds.chunk_map.num_chunks <= 35
+
+    def test_unknown_class_raises(self):
+        ds = make_dataset("dashcam", scale=0.02)
+        with pytest.raises(DatasetError):
+            ds.gt_count("submarine")
+
+
+class TestScaling:
+    def test_frames_scale_linearly(self):
+        small = make_dataset("archie", scale=0.02, seed=0)
+        large = make_dataset("archie", scale=0.04, seed=0)
+        assert large.total_frames == pytest.approx(2 * small.total_frames, rel=0.01)
+
+    def test_instances_scale_roughly(self):
+        small = make_dataset("archie", scale=0.02, seed=0)
+        large = make_dataset("archie", scale=0.04, seed=0)
+        ratio = large.world.num_instances / small.world.num_instances
+        assert 1.5 < ratio < 2.5
+
+
+class TestPaperSkewShape:
+    """Figure 6's quantified exemplars, at reduced scale."""
+
+    def test_dashcam_bicycle_highly_skewed(self):
+        ds = make_dataset("dashcam", scale=0.1, seed=0)
+        s = skew_metric(ds.skew_counts("bicycle"))
+        assert s > 6  # paper: S = 14
+
+    def test_archie_car_unskewed(self):
+        ds = make_dataset("archie", scale=0.05, seed=0)
+        s = skew_metric(ds.skew_counts("car"))
+        assert s < 2  # paper: S = 1.1
+
+    def test_night_street_person_moderate(self):
+        ds = make_dataset("night_street", scale=0.05, seed=0)
+        s = skew_metric(ds.skew_counts("person"))
+        assert 2 < s < 10  # paper: S = 4.5
+
+    def test_relative_ordering(self):
+        """bicycle (dashcam) must be more skewed than car (archie)."""
+        dashcam = make_dataset("dashcam", scale=0.05, seed=0)
+        archie = make_dataset("archie", scale=0.05, seed=0)
+        assert skew_metric(dashcam.skew_counts("bicycle")) > skew_metric(
+            archie.skew_counts("car")
+        )

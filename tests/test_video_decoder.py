@@ -1,0 +1,69 @@
+"""Tests for the simulated decoder's cost model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.video.decoder import SimulatedDecoder
+
+
+class TestRandomAccessCost:
+    def test_keyframe_cheapest(self):
+        decoder = SimulatedDecoder(keyframe_interval=20)
+        on_key = decoder.random_access_cost(40)
+        just_after = decoder.random_access_cost(41)
+        just_before_next = decoder.random_access_cost(59)
+        assert on_key < just_after < just_before_next
+
+    def test_cost_pattern_periodic(self):
+        decoder = SimulatedDecoder(keyframe_interval=20)
+        assert decoder.random_access_cost(5) == decoder.random_access_cost(25)
+
+    def test_worst_case_is_full_gop(self):
+        decoder = SimulatedDecoder(
+            keyframe_interval=20, per_frame_cost=1.0, seek_cost=0.0
+        )
+        assert decoder.random_access_cost(19) == pytest.approx(20.0)
+        assert decoder.random_access_cost(20) == pytest.approx(1.0)
+
+
+class TestReadAndDecode:
+    def test_sequential_access_cheaper(self):
+        decoder = SimulatedDecoder(keyframe_interval=20)
+        decoder.read_and_decode(0, 9)
+        sequential = decoder.read_and_decode(0, 10).decode_cost
+        fresh = SimulatedDecoder(keyframe_interval=20)
+        random = fresh.read_and_decode(0, 10).decode_cost
+        assert sequential < random
+
+    def test_video_switch_breaks_sequence(self):
+        decoder = SimulatedDecoder(keyframe_interval=20)
+        decoder.read_and_decode(0, 9)
+        cost = decoder.read_and_decode(1, 10).decode_cost
+        assert cost == decoder.random_access_cost(10)
+
+    def test_rejects_negative_frame(self):
+        with pytest.raises(ConfigError):
+            SimulatedDecoder().read_and_decode(0, -1)
+
+
+class TestSequentialScan:
+    def test_linear_in_frames(self):
+        decoder = SimulatedDecoder(per_frame_cost=0.01, seek_cost=0.1)
+        assert decoder.sequential_scan_cost(100) == pytest.approx(1.1)
+
+    def test_zero_frames_free(self):
+        assert SimulatedDecoder().sequential_scan_cost(0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            SimulatedDecoder().sequential_scan_cost(-1)
+
+
+class TestValidation:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigError):
+            SimulatedDecoder(keyframe_interval=0)
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ConfigError):
+            SimulatedDecoder(per_frame_cost=-1)

@@ -1,0 +1,121 @@
+"""Tests for videos, repositories and frame addressing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DatasetError
+from repro.utils.rng import spawn_rng
+from repro.video.video import (
+    Video,
+    VideoRepository,
+    clip_collection_repository,
+    single_camera_repository,
+)
+
+
+class TestVideo:
+    def test_duration(self):
+        video = Video("v", num_frames=300, fps=30.0)
+        assert video.duration_seconds == pytest.approx(10.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            Video("v", num_frames=0)
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(DatasetError):
+            Video("v", num_frames=10, fps=0)
+
+
+class TestRepositoryAddressing:
+    @pytest.fixture
+    def repo(self):
+        return VideoRepository(
+            [Video("a", 100), Video("b", 50), Video("c", 200)]
+        )
+
+    def test_totals(self, repo):
+        assert repo.total_frames == 350
+        assert repo.num_videos == 3
+
+    def test_global_index(self, repo):
+        assert repo.global_index(0, 0) == 0
+        assert repo.global_index(1, 0) == 100
+        assert repo.global_index(2, 199) == 349
+
+    def test_locate_roundtrip(self, repo):
+        for g in [0, 99, 100, 149, 150, 349]:
+            video, frame = repo.locate(g)
+            assert repo.global_index(video, frame) == g
+
+    @given(st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=10))
+    @settings(max_examples=40)
+    def test_bijection_property(self, frame_counts):
+        repo = VideoRepository(
+            [Video(f"v{i}", n) for i, n in enumerate(frame_counts)]
+        )
+        rng = spawn_rng(0, "addr")
+        for g in rng.integers(0, repo.total_frames, size=20):
+            video, frame = repo.locate(int(g))
+            assert 0 <= frame < frame_counts[video]
+            assert repo.global_index(video, frame) == g
+
+    def test_locate_many_matches_scalar(self, repo):
+        frames = np.array([0, 99, 100, 349])
+        videos, local = repo.locate_many(frames)
+        for i, g in enumerate(frames):
+            v, f = repo.locate(int(g))
+            assert (videos[i], local[i]) == (v, f)
+
+    def test_out_of_range(self, repo):
+        with pytest.raises(DatasetError):
+            repo.locate(350)
+        with pytest.raises(DatasetError):
+            repo.locate(-1)
+        with pytest.raises(DatasetError):
+            repo.global_index(0, 100)
+        with pytest.raises(DatasetError):
+            repo.global_index(3, 0)
+
+    def test_rejects_empty_repository(self):
+        with pytest.raises(DatasetError):
+            VideoRepository([])
+
+    def test_hours(self, repo):
+        assert repo.total_hours == pytest.approx(350 / 30.0 / 3600.0)
+
+
+class TestBuilders:
+    def test_single_camera_partition(self):
+        repo = single_camera_repository("cam", hours=2.0, fps=30, segment_minutes=30)
+        assert repo.total_frames == 2 * 3600 * 30
+        assert repo.num_videos == 4
+        assert all(v.num_frames == 30 * 60 * 30 for v in repo.videos)
+
+    def test_single_camera_partial_tail(self):
+        repo = single_camera_repository("cam", hours=0.75, fps=10, segment_minutes=30)
+        assert repo.num_videos == 2
+        assert repo.videos[1].num_frames == 15 * 60 * 10
+
+    def test_single_camera_rejects_zero_hours(self):
+        with pytest.raises(DatasetError):
+            single_camera_repository("cam", hours=0)
+
+    def test_clip_collection(self):
+        repo = clip_collection_repository("clips", num_clips=10, clip_frames=200)
+        assert repo.num_videos == 10
+        assert repo.total_frames == 2000
+
+    def test_clip_jitter(self):
+        repo = clip_collection_repository(
+            "clips", 50, 200, frame_jitter=50, rng=spawn_rng(0, "cc")
+        )
+        lengths = {v.num_frames for v in repo.videos}
+        assert len(lengths) > 1
+        assert all(1 <= v.num_frames <= 250 for v in repo.videos)
+
+    def test_clip_rejects_bad_counts(self):
+        with pytest.raises(DatasetError):
+            clip_collection_repository("clips", 0, 200)
