@@ -70,6 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--scale", type=float, default=0.05)
     query.add_argument("--seed", type=int, default=0)
     query.add_argument("--detector-fps", type=float, default=20.0)
+    query.add_argument(
+        "--cost-budget", type=float, default=None,
+        help="stop after this many seconds of modelled processing time",
+    )
+    query.add_argument(
+        "--batch", type=int, default=None,
+        help="detector batch size (§III-F); stopping points are unaffected",
+    )
 
     compare = sub.add_parser(
         "compare", help="run every method on one query and compare times"
@@ -126,15 +134,16 @@ def _cmd_query(args, out) -> int:
         cost_model=CostModel(detector_fps=args.detector_fps),
         seed=args.seed,
     )
-    if args.limit is None and args.recall is None:
+    if args.limit is None and args.recall is None and args.cost_budget is None:
         args.limit = 10
     query = DistinctObjectQuery(
         args.object_class,
         limit=args.limit,
         recall_target=args.recall,
         frame_budget=dataset.total_frames,
+        cost_budget=args.cost_budget,
     )
-    outcome = engine.run(query, method=args.method)
+    outcome = engine.run(query, method=args.method, batch_size=args.batch)
     print(
         f"{outcome.num_results} distinct results in "
         f"{outcome.trace.num_samples} detector frames "

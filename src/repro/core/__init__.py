@@ -17,7 +17,12 @@ from repro.core.belief import (
 )
 from repro.core.chunk_state import ChunkStatistics
 from repro.core.config import PAPER_ALPHA0, PAPER_BETA0, ExSampleConfig
-from repro.core.environment import CallbackEnvironment, Observation, SearchEnvironment
+from repro.core.environment import (
+    CallbackEnvironment,
+    Observation,
+    SearchEnvironment,
+    batched_observe,
+)
 from repro.core.estimator import (
     SeenCounter,
     bias_bound_maxp,
@@ -63,6 +68,7 @@ __all__ = [
     "ThompsonPolicy",
     "UniformOrder",
     "UniformPolicy",
+    "batched_observe",
     "beliefs_from_counts",
     "bias_bound_maxp",
     "bias_bound_moments",

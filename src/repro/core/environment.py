@@ -12,12 +12,33 @@ discriminator, :mod:`repro.query.engine`) and the *theory* simulators of
 §III-D/§IV (:mod:`repro.theory`) implement this protocol, so the very same
 sampler code runs in both worlds — mirroring how the paper's analysis and
 system share one algorithm.
+
+Batched observation (§III-F)
+----------------------------
+
+The batched-sampling extension exists to amortise per-frame overhead: "on
+modern GPUs inference throughput is faster when performed on batches of
+images". Environments may therefore implement
+
+    observe_batch(picks) -> List[Observation]
+
+taking a list of ``(chunk, frame)`` pairs and returning one
+:class:`Observation` per pick, **in pick order**, with semantics identical
+to calling :meth:`~SearchEnvironment.observe` once per pick in that order
+(stateful environments must fold each frame into their state before
+producing the next observation, exactly as the sequential path would).
+Implementing it is optional: the run loop dispatches through
+:func:`batched_observe`, which falls back to per-pick ``observe`` calls
+when an environment does not provide the method. Vectorised
+implementations live in :class:`repro.query.engine.VideoSearchEnvironment`
+(batched detector, discriminator and cost-model calls) and
+:class:`repro.theory.temporal_sim.TemporalEnvironment`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Protocol, Sequence, runtime_checkable
+from typing import List, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
 
@@ -70,6 +91,38 @@ class SearchEnvironment(Protocol):
         """
         ...
 
+    def observe_batch(self, picks: Sequence[Tuple[int, int]]) -> List[Observation]:
+        """Observe many ``(chunk, frame)`` picks in one call (§III-F).
+
+        Must be equivalent to ``[observe(c, f) for c, f in picks]`` —
+        same observations, same order, same state evolution — but is free
+        to batch detector invocations, discriminator matching and cost
+        lookups internally.
+
+        The full protocol (and hence ``isinstance`` against this
+        runtime-checkable Protocol) includes this method; environments
+        that implement only :meth:`observe` still work everywhere in the
+        library, because the run loop reaches environments through
+        :func:`batched_observe`, which falls back to per-pick calls.
+        """
+        ...
+
+
+def batched_observe(
+    env: SearchEnvironment, picks: Sequence[Tuple[int, int]]
+) -> List[Observation]:
+    """Observe ``picks`` via the environment's batched path when available.
+
+    This is the single dispatch point the :class:`repro.core.sampler
+    .Searcher` run loop uses: environments exposing ``observe_batch`` get
+    one call for the whole batch; everything else gets the per-pick
+    fallback, so pre-existing environments keep working unchanged.
+    """
+    method = getattr(env, "observe_batch", None)
+    if method is not None:
+        return method(picks)
+    return [env.observe(chunk, frame) for chunk, frame in picks]
+
 
 class CallbackEnvironment:
     """Adapter turning plain callables into a :class:`SearchEnvironment`.
@@ -88,3 +141,7 @@ class CallbackEnvironment:
 
     def observe(self, chunk: int, frame: int) -> Observation:
         return self._observe_fn(chunk, frame)
+
+    def observe_batch(self, picks: Sequence[Tuple[int, int]]) -> List[Observation]:
+        observe_fn = self._observe_fn
+        return [observe_fn(chunk, frame) for chunk, frame in picks]

@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.belief import make_policy
 from repro.core.chunk_state import ChunkStatistics
 from repro.core.config import ExSampleConfig
-from repro.core.environment import Observation, SearchEnvironment
+from repro.core.environment import Observation, SearchEnvironment, batched_observe
 from repro.core.frame_order import FrameOrder, make_order
 from repro.errors import ConfigError, ExhaustedError
 from repro.utils.rng import RngFactory
@@ -123,7 +123,13 @@ class SearchTrace:
 
 
 class _TraceBuilder:
-    """Accumulates per-frame records and freezes them into a SearchTrace."""
+    """Accumulates per-frame records and freezes them into a SearchTrace.
+
+    The limit-facing counters (``num_results``, ``num_samples``,
+    ``total_cost``, ``num_unique_real``) are maintained incrementally so
+    the run loop can check its stopping conditions after *every* recorded
+    frame — the mid-batch stopping of §III-F — at O(1) per check.
+    """
 
     def __init__(self, searcher: str, upfront_cost: float = 0.0):
         self._chunks: List[int] = []
@@ -135,13 +141,28 @@ class _TraceBuilder:
         self._searcher = searcher
         self._upfront = upfront_cost
         self._real_uids: set[int] = set()
+        self._d0_total = 0
+        self._cost_total = float(upfront_cost)
 
-    def record(self, chunk: int, frame: int, obs: Observation) -> None:
+    def record(
+        self, chunk: int, frame: int, obs: Observation, extra_cost: float = 0.0
+    ) -> None:
+        """Append one processed frame to the trace.
+
+        ``extra_cost`` is deferred searcher-side cost (a lazy proxy scan
+        paid while picking this batch) charged to this frame's trace entry.
+        It is accounted here, in the builder, so the environment's
+        :class:`Observation` objects are never mutated — environments may
+        cache or replay them.
+        """
         self._chunks.append(chunk)
         self._frames.append(frame)
         self._d0s.append(obs.d0)
         self._d1s.append(obs.d1)
-        self._costs.append(obs.cost)
+        cost = obs.cost + extra_cost
+        self._costs.append(cost)
+        self._cost_total += cost
+        self._d0_total += obs.d0
         self._results.extend(obs.results)
         for payload in obs.results:
             uid = _payload_instance_uid(payload)
@@ -155,7 +176,7 @@ class _TraceBuilder:
 
     @property
     def num_results(self) -> int:
-        return len(self._results) if self._results else int(sum(self._d0s))
+        return len(self._results) if self._results else self._d0_total
 
     @property
     def num_samples(self) -> int:
@@ -163,7 +184,7 @@ class _TraceBuilder:
 
     @property
     def total_cost(self) -> float:
-        return self._upfront + sum(self._costs)
+        return self._cost_total
 
     def build(self) -> SearchTrace:
         return SearchTrace(
@@ -223,8 +244,10 @@ class Searcher:
 
         Subclasses that pay as-they-go (the §VII fusion searcher scores a
         chunk the first time it is chosen) return the accumulated amount
-        here; the run loop charges it to the batch's first observation so
-        every time-based metric sees it at the moment it was paid.
+        here; the run loop charges it to the batch's first *trace record*
+        (never to the environment's :class:`Observation` objects, which may
+        be cached or replayed) so every time-based metric sees it at the
+        moment it was paid.
         """
         return 0.0
 
@@ -257,28 +280,41 @@ class Searcher:
         if no_limit:
             frame_budget = int(self.sizes.sum())
         trace = _TraceBuilder(self.name, upfront_cost=self.upfront_cost())
-        while True:
+
+        def limit_reached() -> bool:
             if result_limit is not None and trace.num_results >= result_limit:
-                break
+                return True
             if (
                 distinct_real_limit is not None
                 and trace.num_unique_real >= distinct_real_limit
             ):
-                break
+                return True
             if frame_budget is not None and trace.num_samples >= frame_budget:
-                break
+                return True
             if cost_budget is not None and trace.total_cost >= cost_budget:
-                break
+                return True
+            return False
+
+        stopped = limit_reached()
+        while not stopped:
             picks = self.pick_batch()
             if not picks:
                 break
-            observations = [self.env.observe(c, f) for c, f in picks]
+            observations = batched_observe(self.env, picks)
             extra_cost = self.consume_extra_cost()
-            if extra_cost:
-                observations[0].cost += extra_cost
-            self.update(picks, observations)
+            # Consume the batch incrementally and stop the moment a limit
+            # is crossed (§III-F): frames the environment processed beyond
+            # that point are neither recorded nor charged, so a batched run
+            # stops at exactly the same sample count and cost as the
+            # equivalent one-frame-at-a-time run.
+            consumed = 0
             for (chunk, frame), obs in zip(picks, observations):
-                trace.record(chunk, frame, obs)
+                trace.record(chunk, frame, obs, extra_cost if consumed == 0 else 0.0)
+                consumed += 1
+                if limit_reached():
+                    stopped = True
+                    break
+            self.update(picks[:consumed], observations[:consumed])
         return trace.build()
 
 

@@ -25,6 +25,7 @@ processed by the detector").
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -32,7 +33,7 @@ import numpy as np
 
 from repro.detection.detections import Detection
 from repro.errors import ConfigError
-from repro.utils.rng import spawn_rng
+from repro.utils.rng import TransientRng
 from repro.video.geometry import BoundingBox
 from repro.video.synthetic import SyntheticWorld
 
@@ -96,6 +97,10 @@ class SimulatedDetector:
         self.seed = seed
         self.frames_processed = 0
         self._class_names = world.class_names() or ["object"]
+        # Per-frame streams are keyed on (seed, video, frame); the shared
+        # TransientRng skips per-call generator construction, and the rng
+        # never escapes _detect_frame, so sharing is safe.
+        self._frame_rng = TransientRng()
 
     def detect(
         self,
@@ -109,38 +114,79 @@ class SimulatedDetector:
         generation, so the same (seed, video, frame) always produces the
         same underlying detections regardless of which query asks.
         """
-        rng = spawn_rng(self.seed, "detect", video, frame)
-        profile = self.profile
-        detections: List[Detection] = []
-        for instance in self.world.visible(video, frame):
-            gt_box = instance.box_at(frame)
-            if rng.random() < self._miss_probability(gt_box):
-                continue
-            box = gt_box if profile.jitter == 0 else gt_box.jittered(rng, profile.jitter)
-            meta = self.world.repository.videos[video]
-            box = box.clipped(meta.width, meta.height)
-            score = float(rng.beta(*profile.score_tp))
-            detections.append(
-                Detection(
-                    video=video,
-                    frame=frame,
-                    box=box,
-                    class_name=instance.class_name,
-                    score=score,
-                    instance_uid=instance.uid,
-                )
-            )
-        detections.extend(self._false_positives(video, frame, rng))
+        detections = self._detect_frame(video, frame)
         self.frames_processed += 1
         if class_filter is not None:
             detections = [d for d in detections if d.class_name == class_filter]
+        return detections
+
+    def detect_batch(
+        self,
+        videos: Sequence[int],
+        frames: Sequence[int],
+        class_filter: Optional[str] = None,
+    ) -> List[List[Detection]]:
+        """Run the detector on a batch of frames (§III-F).
+
+        Returns one detection list per ``(video, frame)`` pair, identical
+        to calling :meth:`detect` per frame — the per-frame rng streams are
+        keyed on ``(seed, video, frame)``, so batching cannot change any
+        output. One Python call amortises the per-invocation overhead the
+        batched sampler exists to avoid.
+        """
+        if len(videos) != len(frames):
+            raise ConfigError("videos and frames must align")
+        detect_frame = self._detect_frame
+        out: List[List[Detection]] = []
+        if class_filter is None:
+            for video, frame in zip(videos, frames):
+                out.append(detect_frame(int(video), int(frame)))
+        else:
+            for video, frame in zip(videos, frames):
+                detections = detect_frame(int(video), int(frame))
+                out.append(
+                    [d for d in detections if d.class_name == class_filter]
+                )
+        self.frames_processed += len(out)
+        return out
+
+    def _detect_frame(self, video: int, frame: int) -> List[Detection]:
+        """Generate one frame's (unfiltered) detections deterministically."""
+        rng = self._frame_rng.seeded(self.seed, "detect", video, frame)
+        profile = self.profile
+        detections: List[Detection] = []
+        visible = self.world.visible(video, frame)
+        if visible:
+            meta = self.world.repository.videos[video]
+            for instance in visible:
+                gt_box = instance.box_at(frame)
+                if rng.random() < self._miss_probability(gt_box):
+                    continue
+                box = (
+                    gt_box
+                    if profile.jitter == 0
+                    else gt_box.jittered(rng, profile.jitter)
+                )
+                box = box.clipped(meta.width, meta.height)
+                score = float(rng.beta(*profile.score_tp))
+                detections.append(
+                    Detection(
+                        video=video,
+                        frame=frame,
+                        box=box,
+                        class_name=instance.class_name,
+                        score=score,
+                        instance_uid=instance.uid,
+                    )
+                )
+        detections.extend(self._false_positives(video, frame, rng))
         return detections
 
     # -- internals ---------------------------------------------------------
 
     def _miss_probability(self, box: BoundingBox) -> float:
         profile = self.profile
-        side = float(np.sqrt(max(box.area, 1.0)))
+        side = math.sqrt(max(float(box.area), 1.0))
         smallness = max(0.0, 1.0 - side / profile.reference_size)
         return min(profile.miss_rate + profile.small_box_penalty * smallness, 0.95)
 

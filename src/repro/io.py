@@ -153,6 +153,7 @@ def save_outcome_summary(
             "limit": outcome.query.limit,
             "recall_target": outcome.query.recall_target,
             "frame_budget": outcome.query.frame_budget,
+            "cost_budget": outcome.query.cost_budget,
         },
         "method": outcome.method,
         "gt_count": outcome.gt_count,

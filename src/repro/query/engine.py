@@ -128,6 +128,54 @@ class VideoSearchEnvironment:
         video, vframe = self.dataset.chunk_map.to_video_frame(chunk, frame)
         detections = self.detector.detect(video, vframe, class_filter=self.class_name)
         match = self.discriminator.observe_full(video, vframe, detections)
+        return self._observation_from(
+            chunk, video, vframe, match, self.cost_model.sample_cost(video, vframe)
+        )
+
+    def observe_batch(self, picks) -> List[Observation]:
+        """Vectorised batch observation (§III-F).
+
+        Address translation and cost lookup resolve in a handful of numpy
+        operations for the whole batch; the detector and discriminator
+        each get one call covering every pick. Results are identical to
+        per-pick :meth:`observe` calls in the same order — the detector is
+        deterministic per frame and the discriminator folds the batch's
+        frames into its track store sequentially.
+        """
+        if not picks:
+            return []
+        chunks_arr = np.fromiter(
+            (chunk for chunk, _ in picks), dtype=np.int64, count=len(picks)
+        )
+        withins_arr = np.fromiter(
+            (frame for _, frame in picks), dtype=np.int64, count=len(picks)
+        )
+        videos_arr, vframes_arr = self.dataset.chunk_map.to_video_frame_batch(
+            chunks_arr, withins_arr
+        )
+        # tolist() bulk-converts to Python ints/floats in one call — the
+        # scalar coercion that would otherwise dominate the batch path.
+        videos = videos_arr.tolist()
+        vframes = vframes_arr.tolist()
+        costs = self.cost_model.sample_costs(videos_arr, vframes_arr).tolist()
+        detection_lists = self.detector.detect_batch(
+            videos, vframes, class_filter=self.class_name
+        )
+        matches = self.discriminator.observe_full_batch(
+            videos, vframes, detection_lists
+        )
+        make_observation = self._observation_from
+        return [
+            make_observation(chunk, video, vframe, match, cost)
+            for (chunk, _), video, vframe, match, cost in zip(
+                picks, videos, vframes, matches, costs
+            )
+        ]
+
+    def _observation_from(
+        self, chunk: int, video: int, vframe: int, match, cost: float
+    ) -> Observation:
+        """Turn one frame's match result into the sampler-facing record."""
         d0, d1, new_tracks, d1_tracks = (
             match.d0,
             match.d1,
@@ -156,7 +204,7 @@ class VideoSearchEnvironment:
             d0=len(d0),
             d1=len(d1),
             results=results,
-            cost=self.cost_model.sample_cost(video, vframe),
+            cost=cost,
             d1_origin_chunks=origins,
         )
 
@@ -220,33 +268,59 @@ class QueryEngine:
         dedup_window_s: float = 1.0,
         stride: Optional[int] = None,
         sample_budget_hint: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> Searcher:
-        """Instantiate a search method over an environment."""
+        """Instantiate a search method over an environment.
+
+        ``batch_size`` sets the §III-F observation batch for any method
+        (every searcher supports it). For the ExSample variants it is
+        folded into the config, so it cannot be combined with an explicit
+        ``config``.
+        """
         rngs = RngFactory(self.seed).child("run", method, run_seed)
+        if batch_size is not None and batch_size < 1:
+            raise QueryError(f"batch_size must be >= 1, got {batch_size}")
+        if method in ("exsample", "exsample_fusion"):
+            if config is not None and batch_size is not None:
+                raise QueryError(
+                    "pass batch_size inside the ExSampleConfig, not alongside it"
+                )
+            if config is None:
+                config = ExSampleConfig(
+                    seed=run_seed, batch_size=batch_size or 1
+                )
+        batch_size = batch_size or 1
         if method == "exsample":
-            return ExSampleSearcher(
-                env, config or ExSampleConfig(seed=run_seed), rng=rngs
-            )
+            return ExSampleSearcher(env, config, rng=rngs)
         if method == "random":
-            return RandomSearcher(env, rng=rngs)
+            return RandomSearcher(env, rng=rngs, batch_size=batch_size)
         if method == "randomplus":
-            return RandomPlusSearcher(env, rng=rngs)
+            return RandomPlusSearcher(env, rng=rngs, batch_size=batch_size)
         if method == "sequential":
-            fps = self.dataset.repository.videos[0].fps
+            # A one-second stride by default; the validated repository-level
+            # fps handles heterogeneous videos, and the max() guards
+            # sub-1fps footage (e.g. timelapse) from a zero stride.
+            fps = self.dataset.repository.common_fps()
             return SequentialSearcher(
-                env, rng=rngs, stride=stride or int(fps)
+                env,
+                rng=rngs,
+                # `is not None`, not `or`: an explicit stride=0 must reach
+                # SequentialSearcher's validation, not the fps default.
+                stride=stride if stride is not None else max(int(fps), 1),
+                batch_size=batch_size,
             )
         if method == "proxy":
             proxy = self.proxy_model(env.class_name, proxy_quality)
             scores = proxy.score_all()
             scan_cost = self.cost_model.scan_cost(self.dataset.total_frames)
-            fps = self.dataset.repository.videos[0].fps
+            fps = self.dataset.repository.common_fps()
             return ProxySearcher(
                 env,
                 scores=scores,
                 scan_cost=scan_cost,
                 rng=rngs,
                 dedup_window=int(dedup_window_s * fps),
+                batch_size=batch_size,
             )
         if method == "oracle":
             bounds = self.dataset.chunk_map.global_bounds()
@@ -255,7 +329,9 @@ class QueryEngine:
                 self.dataset.total_frames // 200, 1000
             )
             weights = optimal_weights(p_matrix, float(budget))
-            return OracleStaticSearcher(env, weights=weights, rng=rngs)
+            return OracleStaticSearcher(
+                env, weights=weights, rng=rngs, batch_size=batch_size
+            )
         if method == "exsample_fusion":
             from repro.extensions.fusion import FusionSearcher
 
@@ -275,7 +351,7 @@ class QueryEngine:
                 env,
                 chunk_scores=chunk_scores,
                 chunk_scan_cost=chunk_scan_cost,
-                config=config or ExSampleConfig(seed=run_seed),
+                config=config,
                 rng=rngs,
             )
         raise QueryError(
@@ -312,10 +388,12 @@ class QueryEngine:
             trace = searcher.run(
                 distinct_real_limit=limit,
                 frame_budget=query.frame_budget,
+                cost_budget=query.cost_budget,
             )
         else:
             trace = searcher.run(
                 result_limit=limit,
                 frame_budget=query.frame_budget,
+                cost_budget=query.cost_budget,
             )
         return QueryOutcome(query=query, method=method, trace=trace, gt_count=gt_count)

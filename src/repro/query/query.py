@@ -20,14 +20,17 @@ class DistinctObjectQuery:
     """A distinct-object limit query over a video repository.
 
     Exactly one of ``limit`` / ``recall_target`` should drive stopping;
-    ``frame_budget`` may cap detector invocations in either mode (and may
-    also stand alone for budgeted exploration).
+    ``frame_budget`` may cap detector invocations and ``cost_budget`` may
+    cap seconds of modelled processing time (the paper's cost-to-recall
+    regime) in either mode — and either budget may also stand alone for
+    budgeted exploration.
     """
 
     class_name: str
     limit: Optional[int] = None
     recall_target: Optional[float] = None
     frame_budget: Optional[int] = None
+    cost_budget: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.class_name:
@@ -40,6 +43,8 @@ class DistinctObjectQuery:
             raise QueryError("specify limit or recall_target, not both")
         if self.frame_budget is not None and self.frame_budget <= 0:
             raise QueryError("frame_budget must be positive")
+        if self.cost_budget is not None and self.cost_budget <= 0:
+            raise QueryError("cost_budget must be positive")
 
     def resolve_limit(self, gt_count: int) -> Optional[int]:
         """Concrete result limit given the ground-truth instance count.

@@ -84,6 +84,35 @@ class TemporalEnvironment:
                 f"frame {frame} outside chunk {chunk} "
                 f"[{self.bounds[chunk]}, {self.bounds[chunk + 1]})"
             )
+        return self._observe_global(int(chunk), global_frame)
+
+    def observe_batch(self, picks) -> "List[Observation]":
+        """Batched observation (§III-F): one call for a whole pick list.
+
+        Address translation and bounds checking are vectorised; the d0/d1
+        bookkeeping folds frames into the seen-counter sequentially, so the
+        observations are identical to per-pick :meth:`observe` calls.
+        """
+        if not picks:
+            return []
+        chunks = np.fromiter(
+            (chunk for chunk, _ in picks), dtype=np.int64, count=len(picks)
+        )
+        withins = np.fromiter(
+            (frame for _, frame in picks), dtype=np.int64, count=len(picks)
+        )
+        if np.any((chunks < 0) | (chunks >= self._sizes.size)):
+            raise DatasetError("chunk index out of range")
+        if np.any((withins < 0) | (withins >= self._sizes[chunks])):
+            raise DatasetError("within-chunk frame index out of range")
+        global_frames = (self.bounds[chunks] + withins).tolist()
+        observe_global = self._observe_global
+        return [
+            observe_global(chunk, global_frame)
+            for chunk, global_frame in zip(chunks.tolist(), global_frames)
+        ]
+
+    def _observe_global(self, chunk: int, global_frame: int) -> Observation:
         visible = self.visible_instances(global_frame)
         previously_unseen = [
             int(i) for i in visible if self.counter.times_seen(int(i)) == 0

@@ -113,6 +113,30 @@ class TrackDiscriminator:
         result = self.observe_full(video, frame, detections)
         return result.d0, result.d1, result.new_tracks
 
+    def observe_full_batch(
+        self,
+        videos: "List[int]",
+        frames: "List[int]",
+        detection_lists: "List[List[Detection]]",
+    ) -> List[FrameMatchResult]:
+        """Discriminate a batch of frames (§III-F batched sampling).
+
+        The aligned lists give each frame's address and detections in
+        sampling order. Matching is inherently sequential — a track created
+        from an earlier frame of the batch must be matchable by later
+        frames — so the frames are folded into the store in order, exactly
+        as repeated :meth:`observe_full` calls would; the batch entry point
+        amortises per-call overhead and skips the matcher entirely for
+        frames with no detections (which leave the store untouched).
+        """
+        observe_full = self.observe_full
+        return [
+            observe_full(video, frame, detections)
+            if detections
+            else FrameMatchResult()
+            for video, frame, detections in zip(videos, frames, detection_lists)
+        ]
+
     def observe_full(
         self, video: int, frame: int, detections: List[Detection]
     ) -> FrameMatchResult:

@@ -39,13 +39,17 @@ def hungarian_match(
 ) -> List[Tuple[int, int]]:
     """Optimal assignment maximising total IoU, filtered by the threshold.
 
-    Uses scipy's Hungarian solver. Pairs below the threshold are discarded
-    after assignment (standard practice in MOT pipelines).
+    Uses scipy's Hungarian solver. Sub-threshold entries are zeroed
+    *before* solving: otherwise the solver may realise the same total
+    through pairs that the threshold then discards (e.g. two 0.25s instead
+    of one 0.5), leaving fewer — or worse — matches than greedy. Pairs
+    below the threshold are dropped from the returned assignment.
     """
     _check(iou, threshold)
     if iou.size == 0:
         return []
-    rows, cols = linear_sum_assignment(-iou)
+    eligible = np.where(iou >= threshold, iou, 0.0)
+    rows, cols = linear_sum_assignment(-eligible)
     return [
         (int(r), int(c))
         for r, c in zip(rows, cols)

@@ -48,6 +48,49 @@ def spawn_rng(seed: int, *keys: object) -> np.random.Generator:
     return np.random.Generator(np.random.Philox(_digest_keys(seed, keys)))
 
 
+class TransientRng:
+    """A reusable keyed generator for *frame-local* randomness.
+
+    :func:`spawn_rng` constructs a fresh ``Generator`` + ``Philox`` pair
+    per call (~20µs), which dominates per-frame hot paths like the
+    simulated detector. This class keys a single long-lived Philox
+    directly from the same blake2b digest, skipping object construction:
+    ``seeded(seed, *keys)`` costs a few µs and is exactly as reproducible
+    (same ``(seed, keys)`` → same stream, distinct keys → independent
+    streams). Note the stream is NOT the one :func:`spawn_rng` yields for
+    the same keys — spawn_rng routes the digest through ``SeedSequence``,
+    this class keys Philox directly — so switching a component between
+    the two changes its outputs for a given seed.
+
+    The returned :class:`numpy.random.Generator` is SHARED — the next
+    ``seeded()`` call resets its stream. Callers must finish drawing
+    before re-seeding and must never hand the generator to a long-lived
+    consumer; use :func:`spawn_rng` for anything that outlives the call
+    site.
+    """
+
+    _KEY_MASK = (1 << 64) - 1
+
+    def __init__(self) -> None:
+        self._bitgen = np.random.Philox(0)
+        self._gen = np.random.Generator(self._bitgen)
+        self._state = self._bitgen.state
+
+    def seeded(self, seed: int, *keys: object) -> np.random.Generator:
+        """Re-key the shared generator for ``(seed, keys)`` and return it."""
+        digest = _digest_keys(seed, keys)
+        state = self._state
+        state["state"]["key"] = np.array(
+            [digest & self._KEY_MASK, digest >> 64], dtype=np.uint64
+        )
+        state["state"]["counter"] = np.zeros(4, dtype=np.uint64)
+        state["buffer_pos"] = 4
+        state["has_uint32"] = 0
+        state["uinteger"] = 0
+        self._bitgen.state = state
+        return self._gen
+
+
 def as_generator(seed: Seedish) -> np.random.Generator:
     """Coerce ``seed`` (int, None, Generator, or RngFactory) to a Generator."""
     if isinstance(seed, np.random.Generator):

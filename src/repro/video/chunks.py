@@ -62,6 +62,8 @@ class ChunkMap:
         self.repository = repository
         self.chunks = chunks
         self._sizes = np.array([c.size for c in chunks], dtype=np.int64)
+        self._videos = np.array([c.video for c in chunks], dtype=np.int64)
+        self._starts = np.array([c.start for c in chunks], dtype=np.int64)
         self._global_starts = np.array(
             [repository.global_index(c.video, c.start) for c in chunks],
             dtype=np.int64,
@@ -80,6 +82,25 @@ class ChunkMap:
         if not 0 <= within < c.size:
             raise ChunkingError(f"frame {within} outside chunk of size {c.size}")
         return c.video, c.start + within
+
+    def to_video_frame_batch(
+        self, chunks: np.ndarray, withins: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`to_video_frame` over aligned index arrays.
+
+        Returns ``(videos, frames)`` arrays; one searcher batch is resolved
+        in a handful of numpy operations instead of one Python call per
+        pick.
+        """
+        chunks = np.asarray(chunks, dtype=np.int64)
+        withins = np.asarray(withins, dtype=np.int64)
+        if chunks.shape != withins.shape:
+            raise ChunkingError("chunk and frame index arrays must align")
+        if np.any((chunks < 0) | (chunks >= self._sizes.size)):
+            raise ChunkingError("chunk index out of range")
+        if np.any((withins < 0) | (withins >= self._sizes[chunks])):
+            raise ChunkingError("within-chunk frame index out of range")
+        return self._videos[chunks], self._starts[chunks] + withins
 
     def to_global(self, chunk: int, within: int) -> int:
         """Translate (chunk, within) to the repository-global frame index."""

@@ -75,10 +75,12 @@ class BoundingBox:
 
     def clipped(self, width: float, height: float) -> "BoundingBox":
         """Clip to the image plane ``[0, width] x [0, height]``."""
-        x1 = float(np.clip(self.x1, 0, width))
-        y1 = float(np.clip(self.y1, 0, height))
-        x2 = float(np.clip(self.x2, x1, width))
-        y2 = float(np.clip(self.y2, y1, height))
+        # Scalar min/max instead of np.clip: this sits on the detector's
+        # per-detection hot path, where numpy's scalar dispatch dominates.
+        x1 = min(max(float(self.x1), 0.0), float(width))
+        y1 = min(max(float(self.y1), 0.0), float(height))
+        x2 = min(max(float(self.x2), x1), float(width))
+        y2 = min(max(float(self.y2), y1), float(height))
         return BoundingBox(x1, y1, x2, y2)
 
     def jittered(self, rng: np.random.Generator, scale: float) -> "BoundingBox":
@@ -96,7 +98,7 @@ class BoundingBox:
 
 def interpolate(a: BoundingBox, b: BoundingBox, t: float) -> BoundingBox:
     """Linear interpolation between two boxes at ``t`` in [0, 1]."""
-    t = float(np.clip(t, 0.0, 1.0))
+    t = min(max(float(t), 0.0), 1.0)
     return BoundingBox(
         a.x1 + (b.x1 - a.x1) * t,
         a.y1 + (b.y1 - a.y1) * t,

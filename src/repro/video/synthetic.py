@@ -253,7 +253,7 @@ class SyntheticWorldBuilder:
         total = self.repository.total_frames
         mids = self._midpoints(spec, rng, total)
         # Mean fps across videos converts second-durations to frames.
-        fps = self.repository.videos[0].fps
+        fps = self.repository.common_fps()
         durations = lognormal_durations(
             spec.count, spec.mean_duration_s * fps, rng, spec.duration_sigma_log
         ).astype(np.int64)

@@ -69,6 +69,21 @@ class VideoRepository:
         """Global frame offset of each video (length num_videos + 1)."""
         return self._offsets
 
+    def common_fps(self) -> float:
+        """A repository-level frame rate, validated against the videos.
+
+        When every video shares one rate (the common case) that rate is
+        returned exactly. Heterogeneous repositories — mixed capture
+        hardware — have no single fps, so time-derived sizes (a one-second
+        sequential stride, a dedup window in seconds) use the
+        frame-weighted mean: the rate an average sampled frame lives at.
+        """
+        rates = np.array([v.fps for v in self.videos], dtype=float)
+        if np.all(rates == rates[0]):
+            return float(rates[0])
+        weights = np.array([v.num_frames for v in self.videos], dtype=float)
+        return float(np.average(rates, weights=weights))
+
     def global_index(self, video: int, frame: int) -> int:
         """Map (video, frame) to the global frame index."""
         self._check(video, frame)

@@ -3,8 +3,13 @@
 import numpy as np
 import pytest
 
+from repro.core.chunk_state import ChunkStatistics
 from repro.core.config import ExSampleConfig
-from repro.core.environment import CallbackEnvironment, Observation
+from repro.core.environment import (
+    CallbackEnvironment,
+    Observation,
+    batched_observe,
+)
 from repro.core.sampler import ExSampleSearcher, SearchTrace, Searcher
 from repro.errors import ConfigError
 
@@ -112,6 +117,205 @@ class TestBaseRunLoop:
         trace = searcher.run(distinct_real_limit=3)
         # frames 0(uid1),1(uid101),2(uid1 dup),3(uid103) -> 3 distinct
         assert trace.num_samples == 4
+
+
+class _BatchScriptedSearcher(Searcher):
+    """Visits chunk 0 frames in order, ``batch_size`` picks at a time.
+
+    The pick sequence is independent of observations, so runs with
+    different batch sizes visit identical frames — exactly the setting in
+    which §III-F batching must not change where a search stops.
+    """
+
+    name = "batch-scripted"
+
+    def __init__(self, env, rng=0, batch_size=1):
+        super().__init__(env, rng)
+        self.batch_size = batch_size
+        self._cursor = 0
+
+    def pick_batch(self):
+        end = min(self._cursor + self.batch_size, int(self.sizes[0]))
+        picks = [(0, f) for f in range(self._cursor, end)]
+        self._cursor = end
+        return picks
+
+
+class _ExtraCostSearcher(_BatchScriptedSearcher):
+    """Charges a deferred cost once, on its second batch."""
+
+    def __init__(self, env, rng=0, batch_size=4, extra=7.0):
+        super().__init__(env, rng, batch_size)
+        self.extra = extra
+        self._batches = 0
+
+    def consume_extra_cost(self):
+        self._batches += 1
+        return self.extra if self._batches == 2 else 0.0
+
+
+BATCH_SIZES = [1, 2, 8, 33]
+
+
+class TestBatchedStopping:
+    """Mid-batch stopping: limits bind identically for every batch size."""
+
+    def _env(self, size=40, cost=1.0, hit_every=4):
+        def observe(chunk, frame):
+            found = int(frame % hit_every == 0)
+            return Observation(
+                d0=found, d1=0, results=[frame] * found, cost=cost
+            )
+
+        return CallbackEnvironment([size], observe)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_result_limit_never_overshoots(self, batch_size):
+        searcher = _BatchScriptedSearcher(self._env(), batch_size=batch_size)
+        trace = searcher.run(result_limit=5)
+        assert trace.num_results == 5
+        # Stops at the frame that produced the 5th result: frame 16.
+        assert trace.num_samples == 17
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_frame_budget_never_overshoots(self, batch_size):
+        searcher = _BatchScriptedSearcher(self._env(), batch_size=batch_size)
+        trace = searcher.run(frame_budget=10)
+        assert trace.num_samples == 10
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_cost_budget_never_overshoots(self, batch_size):
+        searcher = _BatchScriptedSearcher(
+            self._env(cost=2.0), batch_size=batch_size
+        )
+        trace = searcher.run(cost_budget=13.0)
+        # Stops the moment cumulative cost crosses 13: 7 frames x 2s = 14s.
+        assert trace.num_samples == 7
+        assert trace.total_cost == pytest.approx(14.0)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_distinct_real_limit_never_overshoots(self, batch_size):
+        def observe(chunk, frame):
+            uid = 1 if frame % 2 == 0 else 100 + frame
+            return Observation(d0=1, d1=0, results=[uid], cost=1.0)
+
+        env = CallbackEnvironment([40], observe)
+        searcher = _BatchScriptedSearcher(env, batch_size=batch_size)
+        trace = searcher.run(distinct_real_limit=3)
+        assert trace.num_samples == 4
+
+    def test_batched_trace_identical_to_unbatched(self):
+        """The §III-F regression: batch_size=8 stops exactly where
+        batch_size=1 does, at the same sample count and total cost."""
+        for limits in (
+            {"result_limit": 5},
+            {"cost_budget": 13.0},
+            {"frame_budget": 11},
+            {"result_limit": 5, "cost_budget": 9.5},
+        ):
+            traces = [
+                _BatchScriptedSearcher(
+                    self._env(cost=1.5), batch_size=b
+                ).run(**limits)
+                for b in (1, 8)
+            ]
+            assert traces[0].num_samples == traces[1].num_samples
+            assert traces[0].total_cost == pytest.approx(traces[1].total_cost)
+            assert traces[0].num_results == traces[1].num_results
+            assert np.array_equal(traces[0].frames, traces[1].frames)
+            assert np.array_equal(traces[0].costs, traces[1].costs)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_exsample_never_exceeds_limits(self, batch_size):
+        def observe(chunk, frame):
+            found = int(chunk == 1 and frame % 3 == 0)
+            return Observation(
+                d0=found, d1=0, results=[chunk * 1000 + frame] * found, cost=1.0
+            )
+
+        env = CallbackEnvironment([60] * 4, observe)
+        config = ExSampleConfig(seed=0, batch_size=batch_size)
+        trace = ExSampleSearcher(env, config).run(result_limit=7)
+        assert trace.num_results == 7
+        trace = ExSampleSearcher(env, config).run(frame_budget=25)
+        assert trace.num_samples == 25
+        trace = ExSampleSearcher(env, config).run(cost_budget=30.0)
+        assert trace.num_samples == 30
+
+    def test_update_sees_only_consumed_observations(self):
+        seen_updates = []
+
+        class _Recording(_BatchScriptedSearcher):
+            def update(self, picks, observations):
+                seen_updates.append(len(picks))
+
+        searcher = _Recording(self._env(), batch_size=8)
+        searcher.run(frame_budget=11)
+        assert sum(seen_updates) == 11
+        assert seen_updates[-1] == 3  # final batch truncated mid-way
+
+    def test_observations_never_mutated(self):
+        """Deferred extra cost lands in the trace, not the Observation."""
+        cached = [Observation(d0=0, d1=0, results=[], cost=1.0) for _ in range(12)]
+
+        env = CallbackEnvironment([12], lambda c, f: cached[f])
+        searcher = _ExtraCostSearcher(env, batch_size=4, extra=7.0)
+        trace = searcher.run(frame_budget=12)
+        assert all(obs.cost == 1.0 for obs in cached)
+        # The 7s surcharge lands on the second batch's first frame.
+        assert trace.costs[4] == pytest.approx(8.0)
+        assert trace.total_cost == pytest.approx(12 + 7.0)
+
+    def test_extra_cost_counts_toward_cost_budget_mid_batch(self):
+        cached = [Observation(d0=0, d1=0, results=[], cost=1.0) for _ in range(12)]
+        env = CallbackEnvironment([12], lambda c, f: cached[f])
+        searcher = _ExtraCostSearcher(env, batch_size=4, extra=7.0)
+        trace = searcher.run(cost_budget=10.0)
+        # Batch 1: frames 0-3 (cost 4). Batch 2 charges +7 on its first
+        # frame: 4 + 8 = 12 >= 10 stops immediately, mid-batch.
+        assert trace.num_samples == 5
+        assert trace.total_cost == pytest.approx(12.0)
+        assert all(obs.cost == 1.0 for obs in cached)
+
+    def test_batched_observe_fallback_for_plain_env(self):
+        class _PlainEnv:
+            def chunk_sizes(self):
+                return np.array([6], dtype=np.int64)
+
+            def observe(self, chunk, frame):
+                return Observation(d0=1, d1=0, results=[frame], cost=1.0)
+
+        env = _PlainEnv()
+        observations = batched_observe(env, [(0, 0), (0, 1)])
+        assert [obs.results[0] for obs in observations] == [0, 1]
+        trace = _BatchScriptedSearcher(env, batch_size=4).run(result_limit=3)
+        assert trace.num_results == 3
+        assert trace.num_samples == 3
+
+    def test_chunk_statistics_batch_commutes_with_incremental(self):
+        """§III-F foundation: batched updates equal per-frame updates, so
+        the run loop may truncate a batch at any point."""
+        rng = np.random.default_rng(3)
+        sizes = [50, 50, 50]
+        chunks = rng.integers(0, 3, size=40)
+        d0s = rng.integers(0, 3, size=40).astype(float)
+        d1s = rng.integers(0, 2, size=40).astype(float)
+
+        batched = ChunkStatistics(sizes)
+        batched.apply_batch(chunks, d0s, d1s)
+        incremental = ChunkStatistics(sizes)
+        for chunk, d0, d1 in zip(chunks, d0s, d1s):
+            incremental.record(int(chunk), int(d0), int(d1))
+        assert np.allclose(batched.n1, incremental.n1)
+        assert np.array_equal(batched.n, incremental.n)
+
+        # Any prefix split of a batch applies identically: the property the
+        # mid-batch stop relies on.
+        split = ChunkStatistics(sizes)
+        split.apply_batch(chunks[:17], d0s[:17], d1s[:17])
+        split.apply_batch(chunks[17:], d0s[17:], d1s[17:])
+        assert np.allclose(split.n1, batched.n1)
+        assert np.array_equal(split.n, batched.n)
 
 
 class TestExSampleSearcher:

@@ -53,6 +53,33 @@ class TestOutcome:
         outcome = engine.run(query, method="random")
         assert outcome.trace.num_samples <= 25
 
+    def test_cost_budget_respected(self, engine):
+        frame_cost = 1.0 / engine.cost_model.detector_fps
+        # A budget mid-way through frame 31 sidesteps float-sum dust.
+        query = DistinctObjectQuery("dog", cost_budget=30.5 * frame_cost)
+        outcome = engine.run(query, method="random")
+        # Stops the moment the budget is crossed, never a full frame past.
+        assert outcome.trace.num_samples == 31
+        assert outcome.trace.total_cost == pytest.approx(31 * frame_cost)
+
+    def test_cost_budget_with_recall_target(self, engine):
+        frame_cost = 1.0 / engine.cost_model.detector_fps
+        budget = 10.5 * frame_cost
+        query = DistinctObjectQuery(
+            "car", recall_target=0.9, cost_budget=budget
+        )
+        outcome = engine.run(query, method="exsample")
+        # At most the frame that crosses the budget is charged beyond it.
+        assert outcome.trace.num_samples <= 11
+        assert outcome.trace.total_cost < budget + frame_cost
+
+    def test_cost_budget_includes_proxy_scan(self, engine):
+        scan = engine.cost_model.scan_cost(engine.dataset.total_frames)
+        query = DistinctObjectQuery("car", limit=50, cost_budget=scan / 2)
+        outcome = engine.run(query, method="proxy")
+        # The upfront scan alone exceeds the budget: nothing gets sampled.
+        assert outcome.trace.num_samples == 0
+
     def test_proxy_has_upfront_cost(self, engine):
         outcome = engine.run(
             DistinctObjectQuery("car", limit=2), method="proxy"
@@ -99,3 +126,106 @@ class TestEngineInternals:
         b = engine.run(query, method="exsample", run_seed=3)
         assert np.array_equal(a.trace.frames, b.trace.frames)
         assert np.array_equal(a.trace.chunks, b.trace.chunks)
+
+
+def _mixed_fps_dataset(fps_a: float, fps_b: float):
+    """A two-video dataset with heterogeneous frame rates."""
+    from repro.video.chunks import FixedDurationChunker
+    from repro.video.datasets import Dataset
+    from repro.video.synthetic import ClassSpec, build_world
+    from repro.video.video import Video, VideoRepository
+
+    repository = VideoRepository(
+        [
+            Video("mixed-a", int(120 * fps_a), fps=fps_a, width=640, height=480),
+            Video("mixed-b", int(120 * fps_b), fps=fps_b, width=640, height=480),
+        ]
+    )
+    world = build_world(
+        repository,
+        [ClassSpec("car", count=20, mean_duration_s=6.0, size_range=(60, 200))],
+        seed=1,
+    )
+    chunk_map = FixedDurationChunker(minutes=0.5).chunk(repository)
+    return Dataset(
+        name="mixed",
+        repository=repository,
+        world=world,
+        chunk_map=chunk_map,
+        camera="static",
+    )
+
+
+class TestBatchSizePlumbing:
+    """make_searcher's batch_size must reach every method, not just exsample."""
+
+    @pytest.mark.parametrize(
+        "method", ["random", "randomplus", "sequential", "proxy", "oracle"]
+    )
+    def test_baselines_receive_batch_size(self, engine, method):
+        env = engine.environment("car")
+        searcher = engine.make_searcher(method, env, batch_size=16)
+        assert searcher.batch_size == 16
+        assert len(searcher.pick_batch()) == 16
+
+    def test_exsample_folds_batch_size_into_config(self, engine):
+        env = engine.environment("car")
+        searcher = engine.make_searcher("exsample", env, batch_size=16)
+        assert searcher.config.batch_size == 16
+
+    def test_batch_size_conflicts_with_explicit_config(self, engine):
+        from repro.core.config import ExSampleConfig
+
+        env = engine.environment("car")
+        with pytest.raises(QueryError):
+            engine.make_searcher(
+                "exsample", env, config=ExSampleConfig(), batch_size=8
+            )
+
+    def test_batch_size_validated(self, engine):
+        env = engine.environment("car")
+        with pytest.raises(QueryError):
+            engine.make_searcher("random", env, batch_size=0)
+
+    def test_run_accepts_batch_size(self, engine):
+        outcome = engine.run(
+            DistinctObjectQuery("car", limit=5),
+            method="random",
+            batch_size=8,
+        )
+        assert outcome.num_results >= 5
+
+
+class TestMixedFpsRepositories:
+    """make_searcher must not assume videos[0].fps speaks for everyone."""
+
+    def test_sequential_stride_uses_repository_fps(self):
+        dataset = _mixed_fps_dataset(10.0, 30.0)
+        engine = QueryEngine(dataset, seed=2)
+        env = engine.environment("car")
+        searcher = engine.make_searcher("sequential", env)
+        # Frame-weighted: (1200*10 + 3600*30) / 4800 = 25.
+        assert searcher.stride == int(dataset.repository.common_fps())
+        assert searcher.stride == 25
+
+    def test_sub_1fps_footage_gets_positive_stride(self):
+        dataset = _mixed_fps_dataset(0.5, 0.5)
+        engine = QueryEngine(dataset, seed=2)
+        env = engine.environment("car")
+        searcher = engine.make_searcher("sequential", env)
+        assert searcher.stride == 1
+
+    def test_explicit_stride_still_wins(self):
+        dataset = _mixed_fps_dataset(10.0, 30.0)
+        engine = QueryEngine(dataset, seed=2)
+        env = engine.environment("car")
+        searcher = engine.make_searcher("sequential", env, stride=7)
+        assert searcher.stride == 7
+
+    def test_query_runs_end_to_end(self):
+        dataset = _mixed_fps_dataset(5.0, 30.0)
+        engine = QueryEngine(dataset, seed=2)
+        outcome = engine.run(
+            DistinctObjectQuery("car", limit=3), method="sequential"
+        )
+        assert outcome.num_results >= 3

@@ -71,6 +71,14 @@ class TestDistinctObjectQuery:
             DistinctObjectQuery("car", limit=5, recall_target=0.5)
         with pytest.raises(QueryError):
             DistinctObjectQuery("car", frame_budget=0)
+        with pytest.raises(QueryError):
+            DistinctObjectQuery("car", cost_budget=0.0)
+        with pytest.raises(QueryError):
+            DistinctObjectQuery("car", cost_budget=-1.0)
+
+    def test_cost_budget_accepted(self):
+        q = DistinctObjectQuery("car", limit=5, cost_budget=120.0)
+        assert q.cost_budget == 120.0
 
 
 def _found(uid, video=0, frame=0):

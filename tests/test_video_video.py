@@ -119,3 +119,21 @@ class TestBuilders:
     def test_clip_rejects_bad_counts(self):
         with pytest.raises(DatasetError):
             clip_collection_repository("clips", 0, 200)
+
+
+class TestCommonFps:
+    def test_uniform_repository_returns_exact_rate(self):
+        repo = VideoRepository(
+            [Video("a", 100, fps=29.97), Video("b", 50, fps=29.97)]
+        )
+        assert repo.common_fps() == 29.97
+
+    def test_heterogeneous_repository_weights_by_frames(self):
+        repo = VideoRepository(
+            [Video("a", 300, fps=10.0), Video("b", 100, fps=30.0)]
+        )
+        assert repo.common_fps() == pytest.approx((300 * 10 + 100 * 30) / 400)
+
+    def test_single_video(self):
+        repo = VideoRepository([Video("a", 10, fps=5.0)])
+        assert repo.common_fps() == 5.0
