@@ -5,7 +5,6 @@ fixed target under one knob's variants, and asserts the qualitative
 relationship the paper describes.
 """
 
-import numpy as np
 
 from repro.experiments import ablations, default_config
 from repro.experiments.ablations import AblationConfig, format_ablation

@@ -5,7 +5,6 @@ duration — 1x with no skew up to ~84x in the most favourable cell — and
 ExSample is never significantly worse than random.
 """
 
-import numpy as np
 
 from repro.experiments import default_config, fig3
 

@@ -6,7 +6,6 @@ queries (dashcam/bicycle, S=14) save several-fold, low-S queries
 caveat that 1000 chunks slow the learning down (§V-C).
 """
 
-import numpy as np
 
 from repro.experiments import default_config, fig6
 

@@ -187,3 +187,82 @@ def test_optimal_weights_solver(benchmark):
     benchmark.pedantic(
         optimal_weights, args=(p_matrix, 5000.0), rounds=3, iterations=1
     )
+
+
+def test_session_stepping_within_10pct_of_monolithic_loop():
+    """The QuerySession redesign must not tax the blocking path.
+
+    Same query, same seeds, fresh environment per measurement: one side
+    drives the historical monolithic loop (`Searcher.run`), the other
+    steps the identical searcher through a streaming `QuerySession`,
+    materialising every event. The streamed run must land within 10% of
+    the monolithic loop on a 10k-frame run (scaled by
+    BENCH_TIMING_TOLERANCE for noisy shared runners); the traces are also
+    compared, so the parity is provably not from doing different work.
+    """
+    from repro.core.sampler import SearchRun
+    from repro.query.query import DistinctObjectQuery
+    from repro.query.session import QuerySession
+
+    dataset = make_dataset("dashcam", scale=0.02, seed=7)
+    engine = QueryEngine(dataset, seed=7)
+    frames = 10_000
+    assert dataset.total_frames >= frames
+    query = DistinctObjectQuery("person", limit=10_000, frame_budget=frames)
+
+    def make_searcher(run_seed):
+        env = engine.environment("person", run_seed=run_seed)
+        return engine.make_searcher(
+            "exsample", env, run_seed=run_seed, batch_size=32
+        )
+
+    # Equal work check, outside the timed region.
+    trace_mono = make_searcher(0).run(frame_budget=frames)
+    session = QuerySession(
+        SearchRun(make_searcher(0), frame_budget=frames), query=query
+    )
+    for _ in session.stream():
+        pass
+    trace_sess = session.trace()
+    assert trace_mono.num_samples == trace_sess.num_samples == frames
+    assert np.array_equal(trace_mono.chunks, trace_sess.chunks)
+    assert np.array_equal(trace_mono.costs, trace_sess.costs)
+
+    def monolithic():
+        searcher = make_searcher(1)
+        start = time.perf_counter()
+        searcher.run(frame_budget=frames)
+        return time.perf_counter() - start
+
+    def stepped():
+        run = SearchRun(make_searcher(1), frame_budget=frames)
+        sess = QuerySession(run, query=query)
+        start = time.perf_counter()
+        events = 0
+        for _ in sess.stream():
+            events += 1
+        elapsed = time.perf_counter() - start
+        assert events > 0
+        return elapsed
+
+    t_mono = monolithic()
+    t_sess = stepped()
+    for _ in range(2):
+        t_mono = min(t_mono, monolithic())
+        t_sess = min(t_sess, stepped())
+    overhead = t_sess / t_mono
+    save_artifact(
+        "micro_session_stepping",
+        (
+            f"QuerySession streaming vs monolithic Searcher.run "
+            f"(10k frames, dashcam 0.02, batch 32)\n"
+            f"monolithic: {t_mono * 1e3:.2f} ms\n"
+            f"session:    {t_sess * 1e3:.2f} ms\n"
+            f"overhead:   {overhead:.3f}x"
+        ),
+    )
+    tolerance = float(os.environ.get("BENCH_TIMING_TOLERANCE", "1.0"))
+    assert t_sess <= t_mono * 1.10 * tolerance, (
+        f"session-stepped execution {overhead:.3f}x slower than the "
+        f"monolithic loop (allowed: 1.10 x tolerance {tolerance})"
+    )

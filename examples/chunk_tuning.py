@@ -16,11 +16,9 @@ moment a limit is crossed, so batching never changes *where* a search stops
 Run:  python examples/chunk_tuning.py
 """
 
-import numpy as np
-
 from repro.core import ExSampleConfig, ExSampleSearcher
 from repro.query.cost import CostModel
-from repro.theory import InstancePopulation, TemporalEnvironment, even_chunk_bounds
+from repro.theory import InstancePopulation, TemporalEnvironment
 from repro.utils.rng import spawn_rng
 from repro.utils.tables import ascii_table, sparkline
 from repro.video import AutoChunker, make_dataset

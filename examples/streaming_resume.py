@@ -1,0 +1,115 @@
+"""Streaming + checkpoint/resume: stop a search halfway, finish it elsewhere.
+
+ExSample is an anytime algorithm, and the session API exposes that: this
+example streams a query's results as they are found, pauses at the halfway
+mark, checkpoints the complete search state to disk, then *restores it in a
+fresh Python process* and streams the remaining results. The final
+discovery curve merges both halves seamlessly — it is byte-identical to the
+curve of a never-interrupted run, which the example verifies.
+
+Run:  python examples/streaming_resume.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+import repro
+from repro import DistinctObjectQuery, QueryEngine, QuerySession, make_dataset
+from repro.query.session import BudgetExhausted, ResultFound
+
+LIMIT = 12
+DATASET_KWARGS = dict(name="dashcam", scale=0.02, seed=7)
+
+
+def build_engine() -> QueryEngine:
+    return QueryEngine(make_dataset(**DATASET_KWARGS), seed=7)
+
+
+def stream_until(session: QuerySession, stop_after_results: int | None) -> None:
+    """Print events as they arrive; pause once enough results are in."""
+    for event in session.stream():
+        if isinstance(event, ResultFound):
+            found = event.result
+            print(
+                f"  result #{event.num_results:2d}: video {found.video} "
+                f"frame {found.frame:6d} (after {event.sample_index} frames)"
+            )
+            if (
+                stop_after_results is not None
+                and event.num_results >= stop_after_results
+            ):
+                session.pause()
+        elif isinstance(event, BudgetExhausted):
+            print(
+                f"  finished ({event.reason}): {event.num_results} results "
+                f"in {event.num_samples} frames"
+            )
+
+
+def resume(path: str) -> None:
+    """Phase 2, running in a fresh process: restore and finish the search."""
+    session = QuerySession.restore(path)
+    print(
+        f"[child pid {os.getpid()}] restored at {session.num_results} results / "
+        f"{session.num_samples} frames; continuing"
+    )
+    stream_until(session, stop_after_results=None)
+    curve = session.trace().discovery_curve()
+    print("merged discovery curve (results after each sampled frame):")
+    print("  " + np.array2string(curve, max_line_width=72))
+
+    # The acid test: identical to a run that was never interrupted.
+    uninterrupted = build_engine().run(
+        DistinctObjectQuery("person", limit=LIMIT), method="exsample"
+    )
+    assert np.array_equal(curve, uninterrupted.trace.discovery_curve())
+    print("verified: merged curve == uninterrupted run's curve")
+
+
+def main() -> None:
+    if len(sys.argv) > 2 and sys.argv[1] == "--resume":
+        resume(sys.argv[2])
+        return
+
+    engine = build_engine()
+    session = engine.session(
+        DistinctObjectQuery("person", limit=LIMIT), method="exsample"
+    )
+    print(f"[parent pid {os.getpid()}] streaming until {LIMIT // 2} results:")
+    stream_until(session, stop_after_results=LIMIT // 2)
+
+    handle, path = tempfile.mkstemp(suffix=".ckpt", prefix="exsample-session-")
+    os.close(handle)
+    try:
+        blob = session.checkpoint(path)
+        print(
+            f"checkpointed {len(blob)} bytes at {session.num_results} results / "
+            f"{session.num_samples} frames"
+        )
+
+        # Finish the search in a brand-new interpreter: nothing survives but
+        # the checkpoint file.
+        env = dict(os.environ)
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        child = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), "--resume", path],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=False,
+        )
+        sys.stdout.write(child.stdout)
+        if child.returncode != 0:
+            sys.stderr.write(child.stderr)
+            raise RuntimeError(f"resume process failed ({child.returncode})")
+    finally:
+        os.unlink(path)
+
+
+if __name__ == "__main__":
+    main()

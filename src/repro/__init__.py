@@ -27,10 +27,16 @@ Quickstart::
 
 from repro.core import ExSampleConfig, ExSampleSearcher, SearchTrace
 from repro.query import (
+    SEARCH_METHODS,
+    BudgetExhausted,
     CostModel,
     DistinctObjectQuery,
     QueryEngine,
     QueryOutcome,
+    QuerySession,
+    ResultFound,
+    SampleBatch,
+    register_searcher,
     savings_ratio,
 )
 from repro.video import make_dataset
@@ -38,14 +44,20 @@ from repro.video import make_dataset
 __version__ = "1.0.0"
 
 __all__ = [
+    "BudgetExhausted",
     "CostModel",
     "DistinctObjectQuery",
     "ExSampleConfig",
     "ExSampleSearcher",
     "QueryEngine",
     "QueryOutcome",
+    "QuerySession",
+    "ResultFound",
+    "SEARCH_METHODS",
+    "SampleBatch",
     "SearchTrace",
     "__version__",
     "make_dataset",
+    "register_searcher",
     "savings_ratio",
 ]

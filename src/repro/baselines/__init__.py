@@ -1,10 +1,16 @@
-"""Comparison methods from §II-B: random, random+, sequential, proxy, oracle."""
+"""Comparison methods from §II-B: random, random+, sequential, proxy, oracle.
 
-from repro.baselines.oracle_search import OracleStaticSearcher
-from repro.baselines.proxy_search import ProxySearcher
+Import order is deliberate (not alphabetical): each module registers its
+method with :mod:`repro.core.registry` at import time, and registration
+order is the order ``SEARCH_METHODS``, CLI choices and method sweeps
+present — kept identical to the historical ``SEARCH_METHODS`` tuple.
+"""
+
 from repro.baselines.random_search import RandomSearcher
 from repro.baselines.randomplus_search import RandomPlusSearcher
 from repro.baselines.sequential_search import SequentialSearcher
+from repro.baselines.proxy_search import ProxySearcher
+from repro.baselines.oracle_search import OracleStaticSearcher
 
 __all__ = [
     "OracleStaticSearcher",

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.environment import SearchEnvironment
 from repro.core.frame_order import UniformOrder
+from repro.core.registry import register_searcher
 from repro.core.sampler import Searcher
 from repro.errors import ConfigError
 from repro.utils.rng import RngFactory
@@ -68,3 +69,20 @@ class OracleStaticSearcher(Searcher):
             picks.append((chunk, self._orders[chunk].next()))
             remaining[chunk] -= 1
         return picks
+
+
+@register_searcher(
+    "oracle",
+    description="fixed optimal chunk weights from ground truth (Eq. IV.1 bound)",
+)
+def _build_oracle(ctx):
+    from repro.theory.optimal_weights import optimal_weights
+
+    engine = ctx.require_engine("oracle")
+    bounds = engine.dataset.chunk_map.global_bounds()
+    p_matrix = engine.dataset.world.chunk_probabilities(ctx.env.class_name, bounds)
+    budget = ctx.sample_budget_hint or max(engine.dataset.total_frames // 200, 1000)
+    weights = optimal_weights(p_matrix, float(budget))
+    return OracleStaticSearcher(
+        ctx.env, weights=weights, rng=ctx.rngs, batch_size=ctx.batch()
+    )

@@ -18,6 +18,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.core.environment import SearchEnvironment
+from repro.core.registry import register_searcher
 from repro.core.sampler import Searcher
 from repro.errors import ConfigError
 from repro.utils.rng import RngFactory
@@ -76,3 +77,22 @@ class ProxySearcher(Searcher):
             chunk = int(np.searchsorted(self._bounds, frame, side="right") - 1)
             picks.append((chunk, int(frame - self._bounds[chunk])))
         return picks
+
+
+@register_searcher(
+    "proxy",
+    description="BlazeIt-style full proxy scan, then descending-score order",
+)
+def _build_proxy(ctx):
+    engine = ctx.require_engine("proxy")
+    proxy = engine.proxy_model(ctx.env.class_name, ctx.proxy_quality)
+    scan_cost = engine.cost_model.scan_cost(engine.dataset.total_frames)
+    fps = engine.dataset.repository.common_fps()
+    return ProxySearcher(
+        ctx.env,
+        scores=proxy.score_all(),
+        scan_cost=scan_cost,
+        rng=ctx.rngs,
+        dedup_window=int(ctx.dedup_window_s * fps),
+        batch_size=ctx.batch(),
+    )

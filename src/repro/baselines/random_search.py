@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.environment import SearchEnvironment
 from repro.core.frame_order import UniformOrder
+from repro.core.registry import register_searcher
 from repro.core.sampler import Searcher
 from repro.utils.rng import RngFactory
 
@@ -52,3 +53,11 @@ class RandomSearcher(Searcher):
             picks.append((chunk, self._orders[chunk].next()))
             remaining[chunk] -= 1
         return picks
+
+
+@register_searcher(
+    "random",
+    description="uniform random sampling without replacement (primary baseline)",
+)
+def _build_random(ctx):
+    return RandomSearcher(ctx.env, rng=ctx.rngs, batch_size=ctx.batch())

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.environment import SearchEnvironment
 from repro.core.frame_order import RandomPlusOrder
+from repro.core.registry import register_searcher
 from repro.core.sampler import Searcher
 from repro.utils.rng import RngFactory
 
@@ -50,3 +51,11 @@ class RandomPlusSearcher(Searcher):
             )
             picks.append((chunk, int(global_frame - self._bounds[chunk])))
         return picks
+
+
+@register_searcher(
+    "randomplus",
+    description="temporally stratified random sampling over the repository (§III-F)",
+)
+def _build_randomplus(ctx):
+    return RandomPlusSearcher(ctx.env, rng=ctx.rngs, batch_size=ctx.batch())

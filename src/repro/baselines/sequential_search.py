@@ -14,6 +14,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.core.environment import SearchEnvironment
+from repro.core.registry import register_searcher
 from repro.core.sampler import Searcher
 from repro.errors import ConfigError
 from repro.utils.rng import RngFactory
@@ -67,3 +68,23 @@ class SequentialSearcher(Searcher):
             )
             picks.append((chunk, int(global_frame - self._bounds[chunk])))
         return picks
+
+
+@register_searcher(
+    "sequential",
+    description="sequential scan with frame-rate reduction (naive execution)",
+)
+def _build_sequential(ctx):
+    engine = ctx.require_engine("sequential")
+    # A one-second stride by default; the validated repository-level fps
+    # handles heterogeneous videos, and the max() guards sub-1fps footage
+    # (e.g. timelapse) from a zero stride.
+    fps = engine.dataset.repository.common_fps()
+    return SequentialSearcher(
+        ctx.env,
+        rng=ctx.rngs,
+        # `is not None`, not `or`: an explicit stride=0 must reach
+        # SequentialSearcher's validation, not the fps default.
+        stride=ctx.stride if ctx.stride is not None else max(int(fps), 1),
+        batch_size=ctx.batch(),
+    )

@@ -19,13 +19,15 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.core.registry import searcher_specs
 from repro.experiments import ablations as ablations_mod
 from repro.experiments import fig2, fig3, fig4, fig5, fig6, table1
-from repro.experiments.runner import default_config
+from repro.experiments.runner import default_config, sweep_methods
 from repro.query.cost import CostModel
 from repro.query.engine import SEARCH_METHODS, QueryEngine
 from repro.query.metrics import time_to_recall
 from repro.query.query import DistinctObjectQuery
+from repro.query.session import BudgetExhausted, ResultFound
 from repro.utils.tables import ascii_table, format_duration
 from repro.video.datasets import DATASET_BUILDERS, make_dataset
 
@@ -60,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-datasets", help="list the six evaluation datasets")
 
+    sub.add_parser(
+        "methods",
+        help="list registered search methods (including plug-in registrations)",
+    )
+
     query = sub.add_parser("query", help="run one distinct-object query")
     query.add_argument("--dataset", required=True, choices=sorted(DATASET_BUILDERS))
     query.add_argument("--object", required=True, dest="object_class",
@@ -77,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--batch", type=int, default=None,
         help="detector batch size (§III-F); stopping points are unaffected",
+    )
+    query.add_argument(
+        "--stream", action="store_true",
+        help="print each distinct result the moment it is found",
     )
 
     compare = sub.add_parser(
@@ -127,6 +138,19 @@ def _cmd_list_datasets(out) -> int:
     return 0
 
 
+def _cmd_methods(out) -> int:
+    rows = [(spec.name, spec.description or "-") for spec in searcher_specs()]
+    print(
+        ascii_table(
+            ["method", "description"],
+            rows,
+            title="registered search methods (@register_searcher)",
+        ),
+        file=out,
+    )
+    return 0
+
+
 def _cmd_query(args, out) -> int:
     dataset = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
     engine = QueryEngine(
@@ -143,6 +167,8 @@ def _cmd_query(args, out) -> int:
         frame_budget=dataset.total_frames,
         cost_budget=args.cost_budget,
     )
+    if args.stream:
+        return _stream_query(engine, query, args, out)
     outcome = engine.run(query, method=args.method, batch_size=args.batch)
     print(
         f"{outcome.num_results} distinct results in "
@@ -161,6 +187,30 @@ def _cmd_query(args, out) -> int:
     return 0
 
 
+def _stream_query(engine, query, args, out) -> int:
+    """Anytime execution: print results as the session discovers them."""
+    session = engine.session(query, method=args.method, batch_size=args.batch)
+    for event in session.stream():
+        if isinstance(event, ResultFound):
+            found = event.result
+            print(
+                f"  #{event.num_results:3d} video {found.video:4d} "
+                f"frame {found.frame:7d} score {found.score:.2f} "
+                f"({event.sample_index} frames sampled)",
+                file=out,
+            )
+            if hasattr(out, "flush"):
+                out.flush()
+        elif isinstance(event, BudgetExhausted):
+            print(
+                f"done ({event.reason}): {event.num_results} distinct results "
+                f"in {event.num_samples} detector frames "
+                f"({format_duration(event.total_cost)} modelled GPU time)",
+                file=out,
+            )
+    return 0
+
+
 def _cmd_compare(args, out) -> int:
     dataset = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
     engine = QueryEngine(dataset, seed=args.seed)
@@ -170,8 +220,7 @@ def _cmd_compare(args, out) -> int:
         frame_budget=dataset.total_frames,
     )
     rows = []
-    for method in SEARCH_METHODS:
-        outcome = engine.run(query, method=method)
+    for method, outcome in sweep_methods(engine, query).items():
         seconds = time_to_recall(outcome.trace, outcome.gt_count, args.recall)
         rows.append(
             (
@@ -230,6 +279,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list-datasets":
         return _cmd_list_datasets(out)
+    if args.command == "methods":
+        return _cmd_methods(out)
     if args.command == "query":
         return _cmd_query(args, out)
     if args.command == "compare":

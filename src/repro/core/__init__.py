@@ -43,7 +43,22 @@ from repro.core.frame_order import (
     UniformOrder,
     make_order,
 )
-from repro.core.sampler import ExSampleSearcher, Searcher, SearchTrace
+from repro.core.registry import (
+    SEARCH_METHODS,
+    SearcherContext,
+    SearcherSpec,
+    register_searcher,
+    searcher_spec,
+    searcher_specs,
+    unregister_searcher,
+)
+from repro.core.sampler import (
+    ExSampleSearcher,
+    Searcher,
+    SearchRun,
+    SearchStep,
+    SearchTrace,
+)
 
 __all__ = [
     "BayesUCBPolicy",
@@ -59,10 +74,15 @@ __all__ = [
     "PAPER_ALPHA0",
     "PAPER_BETA0",
     "RandomPlusOrder",
+    "SEARCH_METHODS",
     "ScoreWeightedOrder",
     "SearchEnvironment",
+    "SearchRun",
+    "SearchStep",
     "SearchTrace",
     "Searcher",
+    "SearcherContext",
+    "SearcherSpec",
     "SeenCounter",
     "SequentialOrder",
     "ThompsonPolicy",
@@ -80,5 +100,9 @@ __all__ = [
     "pi_seen_at",
     "point_estimate",
     "poisson_lambda",
+    "register_searcher",
+    "searcher_spec",
+    "searcher_specs",
+    "unregister_searcher",
     "variance_bound",
 ]

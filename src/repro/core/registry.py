@@ -1,0 +1,219 @@
+"""The pluggable searcher registry.
+
+Search methods plug into the query layer by registering a *factory* under a
+name::
+
+    from repro.core.registry import register_searcher
+
+    @register_searcher("my_method", description="one-line summary")
+    def _build_my_method(ctx):
+        return MySearcher(ctx.env, rng=ctx.rngs, batch_size=ctx.batch(), ...)
+
+Each factory owns its method's construction quirks (config folding, proxy
+scoring, oracle weights, ...) and receives a :class:`SearcherContext`
+carrying everything :meth:`repro.query.engine.QueryEngine.make_searcher`
+knows: the engine, the environment, the per-run RNG factory and the
+user-supplied options. Registration happens at import time in the module
+that defines the method — the five baselines, the ExSample sampler and the
+fusion extension all self-register — so adding a method never touches the
+engine.
+
+:data:`SEARCH_METHODS` is a *live*, ordered view over the registry: the CLI
+``--method`` choices, ``repro methods``, and any sweep iterating it pick up
+third-party registrations automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional, Sequence
+
+from repro.errors import ConfigError, QueryError
+
+#: A factory takes a :class:`SearcherContext` and returns a ready searcher.
+SearcherFactory = Callable[["SearcherContext"], object]
+
+
+@dataclass
+class SearcherContext:
+    """Everything a searcher factory may need to build its method.
+
+    Attributes
+    ----------
+    engine:
+        The :class:`repro.query.engine.QueryEngine` requesting the searcher
+        (``None`` when the registry is driven without an engine; factories
+        that need engine facilities call :meth:`require_engine`).
+    env:
+        The :class:`repro.core.environment.SearchEnvironment` to search.
+    rngs:
+        Per-run RNG factory, already keyed by ``(seed, method, run_seed)``.
+    config:
+        User-supplied :class:`repro.core.config.ExSampleConfig`, or None.
+    batch_size:
+        Raw user-supplied batch size (None means "default"); factories for
+        non-ExSample methods usually want :meth:`batch` instead.
+    proxy_quality, dedup_window_s, stride, sample_budget_hint:
+        Method-specific tuning knobs forwarded from ``make_searcher``.
+    extras:
+        Unrecognised keyword arguments, for third-party factories.
+    """
+
+    engine: Optional[object]
+    env: object
+    rngs: object
+    run_seed: int = 0
+    config: Optional[object] = None
+    batch_size: Optional[int] = None
+    proxy_quality: Optional[float] = None
+    dedup_window_s: float = 1.0
+    stride: Optional[int] = None
+    sample_budget_hint: Optional[int] = None
+    extras: dict = field(default_factory=dict)
+
+    def batch(self) -> int:
+        """The effective batch size for methods taking a plain integer."""
+        return self.batch_size or 1
+
+    def require_engine(self, method: str):
+        """The owning engine, or a :class:`QueryError` naming the method."""
+        if self.engine is None:
+            raise QueryError(
+                f"search method {method!r} needs a QueryEngine context "
+                "(proxy scores / dataset metadata); construct it via "
+                "QueryEngine.make_searcher"
+            )
+        return self.engine
+
+    def fold_exsample_config(self, method: str):
+        """Resolve config vs batch_size for ExSample-family methods.
+
+        The batch size is part of :class:`ExSampleConfig`; supplying both an
+        explicit config and a separate ``batch_size`` is ambiguous and
+        rejected, matching the historical ``make_searcher`` behaviour.
+        """
+        from repro.core.config import ExSampleConfig
+
+        if self.config is not None:
+            if self.batch_size is not None:
+                raise QueryError(
+                    "pass batch_size inside the ExSampleConfig, not alongside it"
+                )
+            return self.config
+        return ExSampleConfig(seed=self.run_seed, batch_size=self.batch())
+
+
+@dataclass(frozen=True)
+class SearcherSpec:
+    """One registered search method: its name, factory and description.
+
+    ``accepts_extras`` marks factories that consume method-specific keyword
+    arguments via ``ctx.extras``; for everything else the engine rejects
+    unrecognised keywords so a typo (``batchsize=64``) fails fast instead
+    of silently running a misconfigured search.
+    """
+
+    name: str
+    factory: SearcherFactory
+    description: str = ""
+    accepts_extras: bool = False
+
+
+_REGISTRY: Dict[str, SearcherSpec] = {}
+
+
+def register_searcher(
+    name: str, *, description: str = "", accepts_extras: bool = False
+) -> Callable[[SearcherFactory], SearcherFactory]:
+    """Class/function decorator registering a searcher factory under ``name``.
+
+    Raises :class:`ConfigError` if ``name`` is already taken — duplicate
+    registration is almost always an accidental name collision, and silently
+    replacing a method would change what every query using that name runs.
+    Use :func:`unregister_searcher` first to replace deliberately.
+
+    Pass ``accepts_extras=True`` if the factory reads custom keyword
+    arguments from ``ctx.extras``; otherwise unrecognised keywords reaching
+    ``QueryEngine.make_searcher`` raise a :class:`QueryError`.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigError(f"searcher name must be a non-empty string, got {name!r}")
+
+    def decorator(factory: SearcherFactory) -> SearcherFactory:
+        if name in _REGISTRY:
+            raise ConfigError(
+                f"search method {name!r} is already registered "
+                f"(available: {', '.join(_REGISTRY)}); "
+                "unregister_searcher() first to replace it"
+            )
+        _REGISTRY[name] = SearcherSpec(
+            name=name,
+            factory=factory,
+            description=description,
+            accepts_extras=accepts_extras,
+        )
+        return factory
+
+    return decorator
+
+
+def unregister_searcher(name: str) -> None:
+    """Remove a registered method (useful for tests and hot-swapping)."""
+    if name not in _REGISTRY:
+        raise QueryError(
+            f"cannot unregister unknown method {name!r}; "
+            f"registered: {', '.join(_REGISTRY)}"
+        )
+    del _REGISTRY[name]
+
+
+def searcher_spec(name: str) -> SearcherSpec:
+    """Look up a method by name, or raise listing what is available."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise QueryError(
+            f"unknown method {name!r}; choose from {tuple(_REGISTRY)}"
+        )
+    return spec
+
+
+def searcher_specs() -> "tuple[SearcherSpec, ...]":
+    """All registered methods, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+class SearchMethodsView(Sequence):
+    """Live, ordered, read-only view of the registered method names.
+
+    Behaves like the historical ``SEARCH_METHODS`` tuple (iteration,
+    ``in``, indexing, ``len``) but always reflects the current registry, so
+    CLI choices and experiment sweeps see third-party methods the moment
+    they register.
+    """
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(tuple(_REGISTRY))
+
+    def __contains__(self, name: object) -> bool:
+        return name in _REGISTRY
+
+    def __len__(self) -> int:
+        return len(_REGISTRY)
+
+    def __getitem__(self, index):
+        return tuple(_REGISTRY)[index]
+
+    def __eq__(self, other: object) -> bool:
+        return tuple(self) == (
+            tuple(other) if isinstance(other, (tuple, list, SearchMethodsView)) else other
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - view is not dict-key material
+        return hash(tuple(_REGISTRY))
+
+    def __repr__(self) -> str:
+        return f"SearchMethodsView{tuple(_REGISTRY)!r}"
+
+
+#: Live view over the registry; import-compatible with the old tuple.
+SEARCH_METHODS = SearchMethodsView()

@@ -26,6 +26,7 @@ from repro.core.chunk_state import ChunkStatistics
 from repro.core.config import ExSampleConfig
 from repro.core.environment import Observation, SearchEnvironment, batched_observe
 from repro.core.frame_order import FrameOrder, make_order
+from repro.core.registry import register_searcher
 from repro.errors import ConfigError, ExhaustedError
 from repro.utils.rng import RngFactory
 
@@ -253,6 +254,22 @@ class Searcher:
 
     # -- run loop ------------------------------------------------------------
 
+    def begin(
+        self,
+        result_limit: Optional[int] = None,
+        frame_budget: Optional[int] = None,
+        cost_budget: Optional[float] = None,
+        distinct_real_limit: Optional[int] = None,
+    ) -> "SearchRun":
+        """Start a resumable run; see :class:`SearchRun` and :meth:`run`."""
+        return SearchRun(
+            self,
+            result_limit=result_limit,
+            frame_budget=frame_budget,
+            cost_budget=cost_budget,
+            distinct_real_limit=distinct_real_limit,
+        )
+
     def run(
         self,
         result_limit: Optional[int] = None,
@@ -270,7 +287,66 @@ class Searcher:
         and ``distinct_real_limit`` — an evaluation-side stop — counts
         unique ground-truth instances, which is what the paper's recall
         targets are measured against.
+
+        This is a thin wrapper over :class:`SearchRun`: it steps a fresh
+        run to completion and returns its trace. Use :meth:`begin` (or the
+        engine-level ``QueryEngine.session``) to drive the same loop
+        incrementally.
         """
+        run = self.begin(
+            result_limit=result_limit,
+            frame_budget=frame_budget,
+            cost_budget=cost_budget,
+            distinct_real_limit=distinct_real_limit,
+        )
+        while not run.finished:
+            run.step()
+        return run.trace()
+
+
+@dataclass
+class SearchStep:
+    """What one :meth:`SearchRun.step` call produced.
+
+    ``picks``/``observations`` cover only the *consumed* prefix of the
+    batch (mid-batch stopping trims the tail); ``new_results`` pairs each
+    freshly discovered result payload with the 1-based cumulative sample
+    index of the frame that produced it.
+    """
+
+    picks: List[Tuple[int, int]]
+    observations: List[Observation]
+    new_results: List[Tuple[int, object]]
+    finished: bool
+    reason: Optional[str]
+
+
+class SearchRun:
+    """A resumable, serialisable stepper over one searcher run.
+
+    This is :meth:`Searcher.run`'s loop body turned into an object: each
+    :meth:`step` performs one pick-observe-record-update cycle (one §III-F
+    batch) and reports what happened, so callers can interleave several
+    runs, stream results as they appear, or stop between any two steps.
+    Because every piece of state it reaches — chunk statistics, frame
+    orders, RNG streams, discriminator tracks, the partial trace — lives in
+    ordinary picklable attributes, a ``SearchRun`` can be serialised
+    mid-run and resumed elsewhere with a byte-identical final trace (see
+    :class:`repro.query.session.QuerySession`).
+
+    Stopping reasons are the limit names: ``"result_limit"``,
+    ``"distinct_real_limit"``, ``"frame_budget"``, ``"cost_budget"``, or
+    ``"exhausted"`` when the searcher ran out of frames.
+    """
+
+    def __init__(
+        self,
+        searcher: Searcher,
+        result_limit: Optional[int] = None,
+        frame_budget: Optional[int] = None,
+        cost_budget: Optional[float] = None,
+        distinct_real_limit: Optional[int] = None,
+    ):
         no_limit = (
             result_limit is None
             and frame_budget is None
@@ -278,44 +354,102 @@ class Searcher:
             and distinct_real_limit is None
         )
         if no_limit:
-            frame_budget = int(self.sizes.sum())
-        trace = _TraceBuilder(self.name, upfront_cost=self.upfront_cost())
+            frame_budget = int(searcher.sizes.sum())
+        self.searcher = searcher
+        self.result_limit = result_limit
+        self.frame_budget = frame_budget
+        self.cost_budget = cost_budget
+        self.distinct_real_limit = distinct_real_limit
+        self._trace = _TraceBuilder(
+            searcher.name, upfront_cost=searcher.upfront_cost()
+        )
+        self._reason: Optional[str] = self._breached()
 
-        def limit_reached() -> bool:
-            if result_limit is not None and trace.num_results >= result_limit:
-                return True
-            if (
-                distinct_real_limit is not None
-                and trace.num_unique_real >= distinct_real_limit
-            ):
-                return True
-            if frame_budget is not None and trace.num_samples >= frame_budget:
-                return True
-            if cost_budget is not None and trace.total_cost >= cost_budget:
-                return True
-            return False
+    # -- limit-facing counters (live, O(1)) --------------------------------
 
-        stopped = limit_reached()
-        while not stopped:
-            picks = self.pick_batch()
-            if not picks:
+    @property
+    def num_samples(self) -> int:
+        return self._trace.num_samples
+
+    @property
+    def num_results(self) -> int:
+        return self._trace.num_results
+
+    @property
+    def total_cost(self) -> float:
+        return self._trace.total_cost
+
+    @property
+    def num_unique_real(self) -> int:
+        return self._trace.num_unique_real
+
+    @property
+    def finished(self) -> bool:
+        return self._reason is not None
+
+    @property
+    def reason(self) -> Optional[str]:
+        """Why the run stopped, or None while it can still make progress."""
+        return self._reason
+
+    def _breached(self) -> Optional[str]:
+        """First limit currently crossed, in the historical check order."""
+        trace = self._trace
+        if self.result_limit is not None and trace.num_results >= self.result_limit:
+            return "result_limit"
+        if (
+            self.distinct_real_limit is not None
+            and trace.num_unique_real >= self.distinct_real_limit
+        ):
+            return "distinct_real_limit"
+        if self.frame_budget is not None and trace.num_samples >= self.frame_budget:
+            return "frame_budget"
+        if self.cost_budget is not None and trace.total_cost >= self.cost_budget:
+            return "cost_budget"
+        return None
+
+    def step(self) -> SearchStep:
+        """Advance by one batch; a no-op returning an empty step when done.
+
+        Consumes the batch incrementally and stops the moment a limit is
+        crossed (§III-F): frames the environment processed beyond that
+        point are neither recorded nor charged, so a batched run stops at
+        exactly the same sample count and cost as the equivalent
+        one-frame-at-a-time run.
+        """
+        if self.finished:
+            return SearchStep([], [], [], True, self._reason)
+        searcher = self.searcher
+        picks = searcher.pick_batch()
+        if not picks:
+            self._reason = "exhausted"
+            return SearchStep([], [], [], True, self._reason)
+        observations = batched_observe(searcher.env, picks)
+        extra_cost = searcher.consume_extra_cost()
+        trace = self._trace
+        new_results: List[Tuple[int, object]] = []
+        consumed = 0
+        for (chunk, frame), obs in zip(picks, observations):
+            trace.record(chunk, frame, obs, extra_cost if consumed == 0 else 0.0)
+            consumed += 1
+            if obs.results:
+                sample_index = trace.num_samples
+                new_results.extend((sample_index, payload) for payload in obs.results)
+            self._reason = self._breached()
+            if self._reason is not None:
                 break
-            observations = batched_observe(self.env, picks)
-            extra_cost = self.consume_extra_cost()
-            # Consume the batch incrementally and stop the moment a limit
-            # is crossed (§III-F): frames the environment processed beyond
-            # that point are neither recorded nor charged, so a batched run
-            # stops at exactly the same sample count and cost as the
-            # equivalent one-frame-at-a-time run.
-            consumed = 0
-            for (chunk, frame), obs in zip(picks, observations):
-                trace.record(chunk, frame, obs, extra_cost if consumed == 0 else 0.0)
-                consumed += 1
-                if limit_reached():
-                    stopped = True
-                    break
-            self.update(picks[:consumed], observations[:consumed])
-        return trace.build()
+        searcher.update(picks[:consumed], observations[:consumed])
+        return SearchStep(
+            picks[:consumed],
+            observations[:consumed],
+            new_results,
+            self.finished,
+            self._reason,
+        )
+
+    def trace(self) -> SearchTrace:
+        """Freeze everything recorded so far into a :class:`SearchTrace`."""
+        return self._trace.build()
 
 
 class ExSampleSearcher(Searcher):
@@ -443,3 +577,14 @@ class ExSampleSearcher(Searcher):
         else:
             d1s = np.array([o.d1 for o in observations], dtype=float)
             self.stats.apply_batch(chunks, d0s, d1s)
+
+
+@register_searcher(
+    "exsample",
+    description="Thompson sampling over per-chunk Gamma beliefs (the paper's method)",
+)
+def _build_exsample(ctx):
+    """Factory: fold batch_size into the config, honour an explicit config."""
+    return ExSampleSearcher(
+        ctx.env, ctx.fold_exsample_config("exsample"), rng=ctx.rngs
+    )

@@ -23,7 +23,7 @@ import numpy as np
 from repro.baselines.random_search import RandomSearcher
 from repro.core.config import ExSampleConfig
 from repro.core.sampler import ExSampleSearcher
-from repro.experiments.runner import median_samples_to, repeated_traces, sample_grid
+from repro.experiments.runner import median_samples_to, repeated_traces
 from repro.theory.instances import InstancePopulation, even_chunk_bounds
 from repro.theory.optimal_weights import expected_found
 from repro.theory.temporal_sim import TemporalEnvironment

@@ -93,3 +93,28 @@ def median_samples_to(
     values.extend([np.inf] * censored)
     med = float(np.median(values))
     return med if np.isfinite(med) else None
+
+
+def sweep_methods(
+    engine,
+    query,
+    methods: Sequence[str] | None = None,
+    run_seed: int = 0,
+    **searcher_kwargs,
+):
+    """Run one query under every search method; returns {method: outcome}.
+
+    ``methods`` defaults to the live ``SEARCH_METHODS`` registry view, so a
+    method registered with ``@register_searcher`` — third-party plug-ins
+    included — joins every sweep (and the CLI ``compare`` table) without
+    any experiment-side edits.
+    """
+    from repro.core.registry import SEARCH_METHODS
+
+    chosen = tuple(methods) if methods is not None else tuple(SEARCH_METHODS)
+    return {
+        method: engine.run(
+            query, method=method, run_seed=run_seed, **searcher_kwargs
+        )
+        for method in chosen
+    }

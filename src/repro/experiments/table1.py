@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.runner import is_full_scale
 from repro.query.cost import CostModel
 from repro.query.engine import QueryEngine
 from repro.query.metrics import time_to_recall

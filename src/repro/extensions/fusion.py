@@ -28,6 +28,7 @@ better within-chunk hit rate exactly where it matters. With a useless proxy
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -35,6 +36,7 @@ import numpy as np
 from repro.core.config import ExSampleConfig
 from repro.core.environment import SearchEnvironment
 from repro.core.frame_order import FrameOrder, RandomPlusOrder
+from repro.core.registry import register_searcher
 from repro.core.sampler import ExSampleSearcher
 from repro.errors import ConfigError
 from repro.utils.rng import RngFactory
@@ -155,23 +157,24 @@ class FusionSearcher(ExSampleSearcher):
         self._pending_cost = 0.0
         self.scanned_chunks: List[int] = []
 
+    def _score_for(self, chunk: int) -> np.ndarray:
+        """Scaled proxy scores for one chunk (hybrid-order score hook)."""
+        return np.asarray(self._chunk_scores(chunk), dtype=float) * self._score_scale
+
+    def _charge_scan(self, chunk: int) -> None:
+        """Hybrid-order upgrade hook: pay the chunk's scoring scan now."""
+        self._pending_cost += float(self._chunk_scan_cost(chunk))
+        self.scanned_chunks.append(chunk)
+
     def _make_order(self, chunk: int) -> FrameOrder:
-        def score_fn() -> np.ndarray:
-            return (
-                np.asarray(self._chunk_scores(chunk), dtype=float)
-                * self._score_scale
-            )
-
-        def on_upgrade() -> None:
-            self._pending_cost += float(self._chunk_scan_cost(chunk))
-            self.scanned_chunks.append(chunk)
-
+        # functools.partial over bound methods (not local closures) keeps
+        # the searcher picklable for session checkpoint/restore.
         return HybridScoredOrder(
             int(self.sizes[chunk]),
             self.rngs.stream("fusion-order", chunk),
-            score_fn=score_fn,
+            score_fn=partial(self._score_for, chunk),
             upgrade_after=self._upgrade_after,
-            on_upgrade=on_upgrade,
+            on_upgrade=partial(self._charge_scan, chunk),
             temperature=self._temperature,
         )
 
@@ -183,3 +186,48 @@ class FusionSearcher(ExSampleSearcher):
     def total_scan_cost(self) -> float:
         """Scan seconds charged so far (for reporting; already in the trace)."""
         return sum(self._chunk_scan_cost(c) for c in self.scanned_chunks)
+
+
+class ArrayChunkScores:
+    """Per-chunk slices of a repository-wide score array (picklable).
+
+    The engine precomputes proxy scores for every frame; this adapter
+    serves the slice belonging to one chunk via the global chunk bounds.
+    """
+
+    def __init__(self, scores: np.ndarray, bounds: np.ndarray):
+        self._scores = np.asarray(scores, dtype=float)
+        self._bounds = np.asarray(bounds, dtype=np.int64)
+
+    def __call__(self, chunk: int) -> np.ndarray:
+        return self._scores[self._bounds[chunk] : self._bounds[chunk + 1]]
+
+
+class ChunkScanCost:
+    """Scan cost of scoring one chunk under a cost model (picklable)."""
+
+    def __init__(self, cost_model, bounds: np.ndarray):
+        self._cost_model = cost_model
+        self._bounds = np.asarray(bounds, dtype=np.int64)
+
+    def __call__(self, chunk: int) -> float:
+        return self._cost_model.scan_cost(
+            int(self._bounds[chunk + 1] - self._bounds[chunk])
+        )
+
+
+@register_searcher(
+    "exsample_fusion",
+    description="ExSample chunk choice + lazily proxy-scored hot chunks (§VII)",
+)
+def _build_fusion(ctx):
+    engine = ctx.require_engine("exsample_fusion")
+    proxy = engine.proxy_model(ctx.env.class_name, ctx.proxy_quality)
+    bounds = engine.dataset.chunk_map.global_bounds()
+    return FusionSearcher(
+        ctx.env,
+        chunk_scores=ArrayChunkScores(proxy.score_all(), bounds),
+        chunk_scan_cost=ChunkScanCost(engine.cost_model, bounds),
+        config=ctx.fold_exsample_config("exsample_fusion"),
+        rng=ctx.rngs,
+    )

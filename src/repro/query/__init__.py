@@ -1,8 +1,16 @@
-"""User-facing query layer: queries, cost model, metrics, engine."""
+"""User-facing query layer: queries, cost model, metrics, engine, sessions."""
 
+from repro.core.registry import (
+    SEARCH_METHODS,
+    SearcherContext,
+    SearcherSpec,
+    register_searcher,
+    searcher_spec,
+    searcher_specs,
+    unregister_searcher,
+)
 from repro.query.cost import PAPER_DETECTOR_FPS, PAPER_SCAN_FPS, CostModel
 from repro.query.engine import (
-    SEARCH_METHODS,
     FoundObject,
     QueryEngine,
     QueryOutcome,
@@ -21,8 +29,16 @@ from repro.query.metrics import (
     unique_instance_curve,
 )
 from repro.query.query import DistinctObjectQuery
+from repro.query.session import (
+    BudgetExhausted,
+    QuerySession,
+    ResultFound,
+    SampleBatch,
+    SessionEvent,
+)
 
 __all__ = [
+    "BudgetExhausted",
     "CostModel",
     "DistinctObjectQuery",
     "FoundObject",
@@ -30,16 +46,26 @@ __all__ = [
     "PAPER_SCAN_FPS",
     "QueryEngine",
     "QueryOutcome",
+    "QuerySession",
+    "ResultFound",
     "SEARCH_METHODS",
+    "SampleBatch",
+    "SearcherContext",
+    "SearcherSpec",
+    "SessionEvent",
     "VideoSearchEnvironment",
     "duplicate_fraction",
     "interpolate_curves_on_grid",
     "precision",
     "recall_against_table",
     "recall_curve",
+    "register_searcher",
     "result_sample_indices",
     "samples_to_recall",
     "savings_ratio",
+    "searcher_spec",
+    "searcher_specs",
     "time_to_recall",
     "unique_instance_curve",
+    "unregister_searcher",
 ]

@@ -19,43 +19,41 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.baselines import (
-    OracleStaticSearcher,
-    ProxySearcher,
-    RandomPlusSearcher,
-    RandomSearcher,
-    SequentialSearcher,
-)
+# Importing these packages registers every built-in search method with the
+# registry (each method module self-registers at import time).
+import repro.baselines  # noqa: F401  - registers the five §II-B baselines
+import repro.extensions.fusion  # noqa: F401  - registers exsample_fusion
 from repro.core.config import ExSampleConfig
 from repro.core.environment import Observation
-from repro.core.sampler import ExSampleSearcher, Searcher, SearchTrace
-from repro.detection.detections import Detection
+from repro.core.registry import (
+    SEARCH_METHODS,
+    SearcherContext,
+    searcher_spec,
+)
+from repro.core.sampler import Searcher, SearchTrace
 from repro.detection.proxy import ProxyModel
 from repro.detection.simulated import DetectorProfile, SimulatedDetector
 from repro.errors import QueryError
 from repro.query.cost import CostModel
 from repro.query.metrics import recall_curve, samples_to_recall, time_to_recall
 from repro.query.query import DistinctObjectQuery
-from repro.theory.optimal_weights import optimal_weights
+from repro.query.session import QuerySession
 from repro.tracking.discriminator import TrackDiscriminator
 from repro.utils.rng import RngFactory
 from repro.video.datasets import Dataset
 
-#: Methods accepted by :meth:`QueryEngine.run`.
-SEARCH_METHODS = (
-    "exsample",
-    "random",
-    "randomplus",
-    "sequential",
-    "proxy",
-    "oracle",
-    "exsample_fusion",
-)
+__all__ = [
+    "SEARCH_METHODS",
+    "FoundObject",
+    "QueryEngine",
+    "QueryOutcome",
+    "VideoSearchEnvironment",
+]
 
 
 @dataclass(frozen=True)
@@ -269,106 +267,67 @@ class QueryEngine:
         stride: Optional[int] = None,
         sample_budget_hint: Optional[int] = None,
         batch_size: Optional[int] = None,
+        **extras,
     ) -> Searcher:
         """Instantiate a search method over an environment.
+
+        Dispatches through the searcher registry
+        (:mod:`repro.core.registry`): any method registered with
+        ``@register_searcher`` — built-in or third-party — is constructed
+        by its own factory, which receives this call's arguments as a
+        :class:`~repro.core.registry.SearcherContext`. Unrecognised keyword
+        arguments are forwarded in ``ctx.extras`` to factories registered
+        with ``accepts_extras=True`` and rejected otherwise, so a
+        misspelled option fails fast instead of silently running a
+        misconfigured search.
 
         ``batch_size`` sets the §III-F observation batch for any method
         (every searcher supports it). For the ExSample variants it is
         folded into the config, so it cannot be combined with an explicit
         ``config``.
         """
-        rngs = RngFactory(self.seed).child("run", method, run_seed)
         if batch_size is not None and batch_size < 1:
             raise QueryError(f"batch_size must be >= 1, got {batch_size}")
-        if method in ("exsample", "exsample_fusion"):
-            if config is not None and batch_size is not None:
-                raise QueryError(
-                    "pass batch_size inside the ExSampleConfig, not alongside it"
-                )
-            if config is None:
-                config = ExSampleConfig(
-                    seed=run_seed, batch_size=batch_size or 1
-                )
-        batch_size = batch_size or 1
-        if method == "exsample":
-            return ExSampleSearcher(env, config, rng=rngs)
-        if method == "random":
-            return RandomSearcher(env, rng=rngs, batch_size=batch_size)
-        if method == "randomplus":
-            return RandomPlusSearcher(env, rng=rngs, batch_size=batch_size)
-        if method == "sequential":
-            # A one-second stride by default; the validated repository-level
-            # fps handles heterogeneous videos, and the max() guards
-            # sub-1fps footage (e.g. timelapse) from a zero stride.
-            fps = self.dataset.repository.common_fps()
-            return SequentialSearcher(
-                env,
-                rng=rngs,
-                # `is not None`, not `or`: an explicit stride=0 must reach
-                # SequentialSearcher's validation, not the fps default.
-                stride=stride if stride is not None else max(int(fps), 1),
-                batch_size=batch_size,
+        spec = searcher_spec(method)
+        if extras and not spec.accepts_extras:
+            raise QueryError(
+                f"unknown keyword arguments for method {method!r}: "
+                f"{sorted(extras)} (its factory was not registered with "
+                "accepts_extras=True)"
             )
-        if method == "proxy":
-            proxy = self.proxy_model(env.class_name, proxy_quality)
-            scores = proxy.score_all()
-            scan_cost = self.cost_model.scan_cost(self.dataset.total_frames)
-            fps = self.dataset.repository.common_fps()
-            return ProxySearcher(
-                env,
-                scores=scores,
-                scan_cost=scan_cost,
-                rng=rngs,
-                dedup_window=int(dedup_window_s * fps),
-                batch_size=batch_size,
-            )
-        if method == "oracle":
-            bounds = self.dataset.chunk_map.global_bounds()
-            p_matrix = self.dataset.world.chunk_probabilities(env.class_name, bounds)
-            budget = sample_budget_hint or max(
-                self.dataset.total_frames // 200, 1000
-            )
-            weights = optimal_weights(p_matrix, float(budget))
-            return OracleStaticSearcher(
-                env, weights=weights, rng=rngs, batch_size=batch_size
-            )
-        if method == "exsample_fusion":
-            from repro.extensions.fusion import FusionSearcher
-
-            proxy = self.proxy_model(env.class_name, proxy_quality)
-            scores = proxy.score_all()
-            bounds = self.dataset.chunk_map.global_bounds()
-
-            def chunk_scores(chunk: int) -> np.ndarray:
-                return scores[bounds[chunk] : bounds[chunk + 1]]
-
-            def chunk_scan_cost(chunk: int) -> float:
-                return self.cost_model.scan_cost(
-                    int(bounds[chunk + 1] - bounds[chunk])
-                )
-
-            return FusionSearcher(
-                env,
-                chunk_scores=chunk_scores,
-                chunk_scan_cost=chunk_scan_cost,
-                config=config,
-                rng=rngs,
-            )
-        raise QueryError(
-            f"unknown method {method!r}; choose from {SEARCH_METHODS}"
+        context = SearcherContext(
+            engine=self,
+            env=env,
+            rngs=RngFactory(self.seed).child("run", method, run_seed),
+            run_seed=run_seed,
+            config=config,
+            batch_size=batch_size,
+            proxy_quality=proxy_quality,
+            dedup_window_s=dedup_window_s,
+            stride=stride,
+            sample_budget_hint=sample_budget_hint,
+            extras=extras,
         )
+        return spec.factory(context)
 
-    # -- the main entry point ------------------------------------------------
+    # -- the main entry points -----------------------------------------------
 
-    def run(
+    def session(
         self,
         query: DistinctObjectQuery,
         method: str = "exsample",
         run_seed: int = 0,
         config: Optional[ExSampleConfig] = None,
         **searcher_kwargs,
-    ) -> QueryOutcome:
-        """Execute one query with one method and return the outcome."""
+    ) -> QuerySession:
+        """Open a resumable streaming session for one query.
+
+        The returned :class:`~repro.query.session.QuerySession` yields
+        typed events from ``stream()``, can ``pause()`` between events, and
+        ``checkpoint()``/``restore()`` its complete state; see the session
+        module for the event vocabulary. :meth:`run` is a thin blocking
+        wrapper over this method.
+        """
         if query.class_name not in self.dataset.classes:
             raise QueryError(
                 f"class {query.class_name!r} not in dataset "
@@ -384,16 +343,87 @@ class QueryEngine:
         # unique ground-truth instances so measured recall actually reaches
         # the target despite false-positive or duplicate tracks.
         limit = query.resolve_limit(gt_count)
-        if query.recall_target is not None:
-            trace = searcher.run(
-                distinct_real_limit=limit,
-                frame_budget=query.frame_budget,
-                cost_budget=query.cost_budget,
-            )
+        limit_kind = (
+            "distinct_real_limit" if query.recall_target is not None else "result_limit"
+        )
+        run = searcher.begin(
+            frame_budget=query.frame_budget,
+            cost_budget=query.cost_budget,
+            **{limit_kind: limit},
+        )
+        return QuerySession(run, query=query, method=method, gt_count=gt_count)
+
+    def run(
+        self,
+        query: DistinctObjectQuery,
+        method: str = "exsample",
+        run_seed: int = 0,
+        config: Optional[ExSampleConfig] = None,
+        **searcher_kwargs,
+    ) -> QueryOutcome:
+        """Execute one query with one method and return the outcome."""
+        session = self.session(
+            query, method=method, run_seed=run_seed, config=config, **searcher_kwargs
+        )
+        return session.run_to_completion()
+
+    def run_many(
+        self,
+        queries: Sequence[DistinctObjectQuery],
+        method: Union[str, Sequence[str]] = "exsample",
+        run_seeds: Optional[Sequence[int]] = None,
+        config: Optional[ExSampleConfig] = None,
+        **searcher_kwargs,
+    ) -> List[QueryOutcome]:
+        """Run several queries concurrently, interleaved round-robin.
+
+        All sessions share this engine's detector (and its caches), so the
+        interleaving models one GPU serving several outstanding queries —
+        the first step toward concurrent serving. Each query gets a fresh
+        environment and an independent ``run_seed`` (``run_seeds`` defaults
+        to ``0, 1, 2, ...``), which makes the outcomes *identical* to
+        running each query alone with the matching seed: interleaving
+        changes wall-clock scheduling, never results.
+
+        ``method`` may be one name for all queries or a sequence aligned
+        with ``queries``.
+        """
+        queries = list(queries)
+        if isinstance(method, str):
+            methods = [method] * len(queries)
         else:
-            trace = searcher.run(
-                result_limit=limit,
-                frame_budget=query.frame_budget,
-                cost_budget=query.cost_budget,
+            methods = list(method)
+            if len(methods) != len(queries):
+                raise QueryError(
+                    f"got {len(methods)} methods for {len(queries)} queries"
+                )
+        if run_seeds is None:
+            run_seeds = range(len(queries))
+        else:
+            run_seeds = list(run_seeds)
+            if len(run_seeds) != len(queries):
+                raise QueryError(
+                    f"got {len(run_seeds)} run_seeds for {len(queries)} queries"
+                )
+        sessions = [
+            self.session(
+                query,
+                method=name,
+                run_seed=seed,
+                config=config,
+                **searcher_kwargs,
             )
-        return QueryOutcome(query=query, method=method, trace=trace, gt_count=gt_count)
+            for query, name, seed in zip(queries, methods, run_seeds)
+        ]
+        pending = list(sessions)
+        while pending:
+            # One batch per session per lap (no event materialisation on
+            # this blocking path); drop finished sessions so the tail of a
+            # long query does not keep polling completed ones.
+            still_running = []
+            for session in pending:
+                session.advance()
+                if not session.finished:
+                    still_running.append(session)
+            pending = still_running
+        return [s.outcome() for s in sessions]

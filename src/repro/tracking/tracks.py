@@ -19,7 +19,7 @@ Two kinds of track exist in the simulation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import DatasetError

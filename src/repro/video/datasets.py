@@ -26,7 +26,7 @@ at ``scale=0.05`` while `REPRO_FULL=1` runs paper-scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
 import numpy as np

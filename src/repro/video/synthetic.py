@@ -23,7 +23,7 @@ of instance durations (the ``p_i``) and instance placement across chunks
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np

@@ -12,7 +12,7 @@ The repository provides the bijection between the two.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.detection.simulated import PERFECT_PROFILE, SimulatedDetector
-from repro.theory.instances import InstancePopulation, even_chunk_bounds
+from repro.theory.instances import InstancePopulation
 from repro.theory.temporal_sim import TemporalEnvironment
 from repro.utils.rng import RngFactory, spawn_rng
 from repro.video.chunks import FixedDurationChunker

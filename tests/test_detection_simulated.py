@@ -1,6 +1,5 @@
 """Tests for the simulated object detector."""
 
-import numpy as np
 import pytest
 
 from repro.detection.detections import Detection, filter_class, filter_score

@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "proxy_vs_sampling",
     "chunk_tuning",
     "custom_dataset",
+    "streaming_resume",
 ]
 
 

@@ -8,7 +8,6 @@ happen.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.config import ExSampleConfig
 from repro.core.sampler import ExSampleSearcher

@@ -8,7 +8,6 @@ interaction pattern for limit queries.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.config import ExSampleConfig
 from repro.core.environment import CallbackEnvironment, Observation

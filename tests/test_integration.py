@@ -12,13 +12,12 @@ tolerances appropriate for miniature workloads:
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines import RandomSearcher
 from repro.core.config import ExSampleConfig
 from repro.core.sampler import ExSampleSearcher
 from repro.query.engine import QueryEngine
-from repro.query.metrics import savings_ratio, time_to_recall
+from repro.query.metrics import time_to_recall
 from repro.query.query import DistinctObjectQuery
 from repro.theory.instances import InstancePopulation, even_chunk_bounds
 from repro.theory.optimal_weights import expected_found, optimal_weights

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import DatasetError
-from repro.theory.instances import InstancePopulation, even_chunk_bounds
+from repro.theory.instances import InstancePopulation
 from repro.theory.temporal_sim import TemporalEnvironment
 
 

@@ -1,6 +1,5 @@
 """Tests for the six evaluation dataset builders."""
 
-import numpy as np
 import pytest
 
 from repro.errors import DatasetError
