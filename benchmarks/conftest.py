@@ -9,9 +9,27 @@ preserve the comparisons' shape at a fraction of the cost.
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
+
+import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Machine-readable micro-benchmark metrics. Reset at the start of every
+#: benchmark session (see :func:`_reset_bench_json`) and then merged
+#: key-by-key, so the file holds exactly the benches of the latest run —
+#: no stale sections from renamed or removed benchmarks. CI uploads it as
+#: an artifact, giving the perf trajectory across PRs a parseable record.
+BENCH_JSON = RESULTS_DIR / "BENCH_micro.json"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _reset_bench_json():
+    """Start each suite run from an empty metrics file."""
+    BENCH_JSON.unlink(missing_ok=True)
+    yield
 
 
 def save_artifact(name: str, text: str) -> None:
@@ -20,3 +38,22 @@ def save_artifact(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[saved to {path}]")
+
+
+def save_metric(name: str, **values) -> None:
+    """Merge one benchmark's metrics into ``BENCH_micro.json``.
+
+    ``values`` should be JSON-scalar timings/ratios (seconds, speedups,
+    counts). Each call overwrites only its own ``name`` section, so the
+    file accumulates every micro-benchmark that ran, in any order.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    try:
+        payload = json.loads(BENCH_JSON.read_text())
+    except (OSError, ValueError):
+        payload = {}
+    meta = payload.setdefault("_meta", {})
+    meta["python"] = platform.python_version()
+    meta["machine"] = platform.machine()
+    payload[name] = values
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

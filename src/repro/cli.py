@@ -89,6 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--stream", action="store_true",
         help="print each distinct result the moment it is found",
     )
+    query.add_argument(
+        "--cache", default="unbounded", choices=("unbounded", "lru", "off"),
+        help="detection memoization policy (results are unaffected)",
+    )
 
     compare = sub.add_parser(
         "compare", help="run every method on one query and compare times"
@@ -98,6 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--recall", type=float, default=0.5)
     compare.add_argument("--scale", type=float, default=0.05)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--cache", default="unbounded", choices=("unbounded", "lru", "off"),
+        help="detection memoization policy (results are unaffected)",
+    )
+    compare.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the method sweep (default: REPRO_JOBS or 1)",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table or figure"
@@ -107,9 +119,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true",
         help="paper-scale configuration (slow); default is the quick config",
     )
+    experiment.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for independent runs/cells "
+             "(default: REPRO_JOBS or 1; results are identical to serial)",
+    )
 
     ablation = sub.add_parser("ablation", help="run one design-choice ablation")
     ablation.add_argument("name", choices=sorted(_ABLATIONS))
+    ablation.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for independent runs (default: REPRO_JOBS or 1)",
+    )
 
     return parser
 
@@ -157,6 +178,7 @@ def _cmd_query(args, out) -> int:
         dataset,
         cost_model=CostModel(detector_fps=args.detector_fps),
         seed=args.seed,
+        detection_cache=args.cache,
     )
     if args.limit is None and args.recall is None and args.cost_budget is None:
         args.limit = 10
@@ -213,14 +235,14 @@ def _stream_query(engine, query, args, out) -> int:
 
 def _cmd_compare(args, out) -> int:
     dataset = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    engine = QueryEngine(dataset, seed=args.seed)
+    engine = QueryEngine(dataset, seed=args.seed, detection_cache=args.cache)
     query = DistinctObjectQuery(
         args.object_class,
         recall_target=args.recall,
         frame_budget=dataset.total_frames,
     )
     rows = []
-    for method, outcome in sweep_methods(engine, query).items():
+    for method, outcome in sweep_methods(engine, query, jobs=args.jobs).items():
         seconds = time_to_recall(outcome.trace, outcome.gt_count, args.recall)
         rows.append(
             (
@@ -237,10 +259,27 @@ def _cmd_compare(args, out) -> int:
         ),
         file=out,
     )
+    info = engine.cache_info()
+    if info is not None and info.requests:
+        # With --jobs the sweep runs in workers against engine copies; the
+        # local counters then only reflect this process's share.
+        print(f"detection {info}", file=out)
     return 0
 
 
+def _apply_jobs(args) -> None:
+    """Propagate --jobs to the harnesses via REPRO_JOBS.
+
+    The experiment modules resolve their worker count from the
+    environment (so nested code and benches see one knob); the CLI flag
+    simply sets it for this process.
+    """
+    if getattr(args, "jobs", None) is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+
+
 def _cmd_experiment(args, out) -> int:
+    _apply_jobs(args)
     if args.name == "all":
         from repro.experiments.report import generate_report, render_report
 
@@ -254,6 +293,7 @@ def _cmd_experiment(args, out) -> int:
 
 
 def _cmd_ablation(args, out) -> int:
+    _apply_jobs(args)
     fn = _ABLATIONS[args.name]
     config = default_config(ablations_mod.AblationConfig)
     result = fn(config)

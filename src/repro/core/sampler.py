@@ -115,11 +115,11 @@ class SearchTrace:
         curve = self.discovery_curve()
         grid_arr = np.asarray(grid, dtype=np.int64)
         out = np.zeros(grid_arr.shape, dtype=float)
-        for i, g in enumerate(grid_arr):
-            if g <= 0 or curve.size == 0:
-                out[i] = 0.0
-            else:
-                out[i] = curve[min(g, curve.size) - 1]
+        if curve.size == 0:
+            return out
+        positive = grid_arr > 0
+        idx = np.clip(grid_arr[positive], None, curve.size) - 1
+        out[positive] = curve[idx]
         return out
 
 
@@ -177,7 +177,15 @@ class _TraceBuilder:
 
     @property
     def num_results(self) -> int:
-        return len(self._results) if self._results else self._d0_total
+        """Distinct results so far, counted from the authoritative d0s.
+
+        ``d0`` *is* the per-frame new-object count (payloads are optional
+        decoration an environment may supply for some, all, or none of
+        them), so the total must come from d0 — matching
+        :attr:`SearchTrace.num_results`. Counting payloads undercounted in
+        environments that attach them to only some frames.
+        """
+        return self._d0_total
 
     @property
     def num_samples(self) -> int:

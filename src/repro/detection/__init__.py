@@ -1,5 +1,10 @@
-"""Object-detection substrate: simulated detector, proxy scorer, records."""
+"""Object-detection substrate: simulated detector, cache, proxy, records."""
 
+from repro.detection.cache import (
+    CacheInfo,
+    DetectionCache,
+    make_detection_cache,
+)
 from repro.detection.detections import Detection, filter_class, filter_score
 from repro.detection.proxy import ProxyModel
 from repro.detection.simulated import (
@@ -9,11 +14,14 @@ from repro.detection.simulated import (
 )
 
 __all__ = [
+    "CacheInfo",
     "Detection",
+    "DetectionCache",
     "DetectorProfile",
     "PERFECT_PROFILE",
     "ProxyModel",
     "SimulatedDetector",
     "filter_class",
     "filter_score",
+    "make_detection_cache",
 ]

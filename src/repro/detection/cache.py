@@ -1,0 +1,186 @@
+"""Memoized detection results: pay the detector once per frame, ever.
+
+The paper's premise is that "runtime in ExSample is roughly proportional to
+the number of frames processed by the detector" (§III), and the simulated
+detector is an explicitly *pure* function of ``(seed, video, frame)`` —
+detecting the same frame twice yields byte-identical results. Every figure
+experiment exploits neither fact: a fig3-style sweep (several methods ×
+several seeds over one :class:`~repro.query.engine.QueryEngine`) re-detects
+the frames its runs share from scratch, once per run.
+
+:class:`DetectionCache` closes that gap. It memoizes finished detection
+lists keyed by ``(video, frame, class_filter)`` so any number of runs over
+the same detector pay detection once per distinct frame. Because the
+detector is deterministic, a cache hit returns exactly what a fresh
+detection would — caching can change wall-clock time, never a trace.
+
+Three policies are supported:
+
+* ``"unbounded"`` — a plain dict; right for experiment sweeps, where the
+  working set is the sampled subset of the repository (small by design —
+  sampling's whole point is to touch few frames).
+* ``"lru"`` — an :class:`collections.OrderedDict` bounded at ``capacity``
+  entries with least-recently-used eviction; right for long-lived serving
+  processes.
+* ``"off"`` — no cache (``make_detection_cache`` returns ``None``).
+
+Caches deliberately do **not** survive :mod:`pickle`: serialising a
+detector (e.g. inside a :class:`~repro.query.session.QuerySession`
+checkpoint) keeps the cache's *configuration* but drops its contents and
+counters, so checkpoints stay small and restore is always correct even if
+the world or seed changes between save and load.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ConfigError
+
+#: Cache key: (video, frame, class_filter-or-None).
+CacheKey = Tuple[int, int, Optional[str]]
+
+#: What ``QueryEngine(detection_cache=...)`` and the CLI accept.
+CacheSpec = Union[str, "DetectionCache", None]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A point-in-time snapshot of cache effectiveness."""
+
+    policy: str
+    hits: int
+    misses: int
+    size: int
+    capacity: Optional[int]
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        cap = "∞" if self.capacity is None else str(self.capacity)
+        return (
+            f"{self.policy} cache: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.1%} hit rate, {self.size}/{cap} entries)"
+        )
+
+
+class DetectionCache:
+    """Memo table for per-frame detection lists.
+
+    Parameters
+    ----------
+    policy:
+        ``"unbounded"`` or ``"lru"``.
+    capacity:
+        Maximum entries for the LRU policy (ignored when unbounded).
+    """
+
+    def __init__(self, policy: str = "unbounded", capacity: int = 65536):
+        if policy not in ("unbounded", "lru"):
+            raise ConfigError(
+                f"unknown detection cache policy {policy!r} "
+                "(expected 'unbounded' or 'lru'; use make_detection_cache"
+                "('off') for no cache)"
+            )
+        if policy == "lru" and capacity < 1:
+            raise ConfigError("lru capacity must be >= 1")
+        self.policy = policy
+        self.capacity = capacity if policy == "lru" else None
+        self.hits = 0
+        self.misses = 0
+        self._store: "Dict[CacheKey, List[object]]" = (
+            OrderedDict() if policy == "lru" else {}
+        )
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: CacheKey) -> Optional[List[object]]:
+        """The cached detection list for ``key``, or None on a miss.
+
+        Returns a shallow copy so callers may mutate the returned list
+        (detection objects themselves are frozen) without corrupting the
+        cache.
+        """
+        store = self._store
+        try:
+            value = store[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if self.capacity is not None:
+            store.move_to_end(key)  # type: ignore[attr-defined]
+        return list(value)
+
+    def put(self, key: CacheKey, detections: List[object]) -> None:
+        """Memoize one frame's finished (already filtered) detections."""
+        store = self._store
+        store[key] = list(detections)
+        if self.capacity is not None:
+            store.move_to_end(key)  # type: ignore[attr-defined]
+            while len(store) > self.capacity:
+                store.popitem(last=False)  # type: ignore[call-arg]
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(
+            policy=self.policy,
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self._store),
+            capacity=self.capacity,
+        )
+
+    # -- pickling: configuration travels, contents never ---------------------
+
+    def __getstate__(self) -> dict:
+        """Serialise the configuration only.
+
+        Session checkpoints pickle the whole environment, detector
+        included; shipping the memo table would bloat every checkpoint
+        with data that is pure re-computable cache. Contents and counters
+        are dropped; the restored cache starts cold with the same policy.
+        """
+        return {"policy": self.policy, "capacity": self.capacity}
+
+    def __setstate__(self, state: dict) -> None:
+        self.policy = state["policy"]
+        self.capacity = state["capacity"]
+        self.hits = 0
+        self.misses = 0
+        self._store = OrderedDict() if self.capacity is not None else {}
+
+
+def make_detection_cache(
+    spec: CacheSpec, capacity: int = 65536
+) -> Optional[DetectionCache]:
+    """Resolve a user-facing cache spec to a cache object (or None).
+
+    ``spec`` may be ``None`` / ``"off"`` (no cache), ``"unbounded"``,
+    ``"lru"``, or an existing :class:`DetectionCache` (returned as-is).
+    """
+    if spec is None or spec == "off":
+        return None
+    if isinstance(spec, DetectionCache):
+        return spec
+    if isinstance(spec, str):
+        return DetectionCache(policy=spec, capacity=capacity)
+    raise ConfigError(
+        f"detection_cache must be 'off', 'unbounded', 'lru' or a "
+        f"DetectionCache instance, got {type(spec).__name__}"
+    )

@@ -8,9 +8,9 @@ from typing import List, Optional
 from repro.video.geometry import BoundingBox
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Detection:
-    """One detector output box.
+    """One detector output box (slotted: hot paths build thousands).
 
     Attributes
     ----------

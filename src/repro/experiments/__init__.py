@@ -6,9 +6,20 @@ ablation suite. Each module exposes ``run(config)`` and ``format_result``;
 the config classes have ``quick()`` and ``paper()`` constructors and
 :func:`~repro.experiments.runner.default_config` picks between them based on
 the ``REPRO_FULL`` environment variable.
+
+Every harness executes its independent units (runs, trials, cells, rows)
+through :mod:`repro.experiments.parallel`: set ``REPRO_JOBS=N`` (or the CLI
+``--jobs``) to fan them out over N worker processes with results
+element-wise identical to the serial path.
 """
 
 from repro.experiments import ablations, fig2, fig3, fig4, fig5, fig6, report, table1
+from repro.experiments.parallel import (
+    parallel_map,
+    parallel_sweep_methods,
+    parallel_traces,
+    resolve_jobs,
+)
 from repro.experiments.runner import (
     default_config,
     is_full_scale,
@@ -16,6 +27,7 @@ from repro.experiments.runner import (
     median_samples_to,
     repeated_traces,
     sample_grid,
+    sweep_methods,
 )
 
 __all__ = [
@@ -29,8 +41,13 @@ __all__ = [
     "is_full_scale",
     "median_discovery",
     "median_samples_to",
+    "parallel_map",
+    "parallel_sweep_methods",
+    "parallel_traces",
     "repeated_traces",
     "report",
+    "resolve_jobs",
     "sample_grid",
+    "sweep_methods",
     "table1",
 ]

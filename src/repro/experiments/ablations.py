@@ -20,6 +20,7 @@ effect of the knob is directly comparable:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -28,6 +29,7 @@ from repro.baselines.random_search import RandomSearcher
 from repro.baselines.randomplus_search import RandomPlusSearcher
 from repro.core.config import ExSampleConfig
 from repro.core.sampler import ExSampleSearcher
+from repro.experiments.parallel import parallel_map
 from repro.experiments.runner import median_samples_to, repeated_traces
 from repro.query.engine import QueryEngine
 from repro.query.metrics import time_to_recall
@@ -84,6 +86,31 @@ def _median_to_target(
     return median_samples_to(traces, config.target_results)
 
 
+# -- module-level (hence picklable) searcher factories -----------------------
+# Bound with functools.partial at each call site so repeated_traces can fan
+# runs out over worker processes; every factory derives its randomness from
+# (rngs, key..., run_idx) alone, keeping parallel results serial-identical.
+
+
+def _make_exsample(population, bounds, rngs, keys, config_kwargs, run_idx):
+    env = TemporalEnvironment(population, bounds)
+    return ExSampleSearcher(
+        env,
+        ExSampleConfig(seed=run_idx, **config_kwargs),
+        rng=rngs.child("ex", *keys, run_idx),
+    )
+
+
+def _make_random(population, bounds, rngs, run_idx):
+    env = TemporalEnvironment(population, bounds)
+    return RandomSearcher(env, rng=rngs.child("rnd", run_idx))
+
+
+def _make_randomplus(population, bounds, rngs, run_idx):
+    env = TemporalEnvironment(population, bounds)
+    return RandomPlusSearcher(env, rng=rngs.child("rp", run_idx))
+
+
 def randomplus_ablation(config: AblationConfig) -> Dict[str, Optional[float]]:
     """Median samples-to-target for the four order combinations."""
     rngs = RngFactory(config.seed).child("abl-rplus")
@@ -92,26 +119,22 @@ def randomplus_ablation(config: AblationConfig) -> Dict[str, Optional[float]]:
     out: Dict[str, Optional[float]] = {}
 
     for order in ("randomplus", "uniform"):
-        def make(run_idx: int, order=order) -> ExSampleSearcher:
-            env = TemporalEnvironment(population, bounds)
-            return ExSampleSearcher(
-                env,
-                ExSampleConfig(seed=run_idx, within_chunk_order=order),
-                rng=rngs.child("ex", order, run_idx),
-            )
-
+        make = partial(
+            _make_exsample,
+            population,
+            bounds,
+            rngs,
+            (order,),
+            {"within_chunk_order": order},
+        )
         out[f"exsample/{order}"] = _median_to_target(make, config)
 
-    def make_random(run_idx: int) -> RandomSearcher:
-        env = TemporalEnvironment(population, bounds)
-        return RandomSearcher(env, rng=rngs.child("rnd", run_idx))
-
-    def make_randomplus(run_idx: int) -> RandomPlusSearcher:
-        env = TemporalEnvironment(population, bounds)
-        return RandomPlusSearcher(env, rng=rngs.child("rp", run_idx))
-
-    out["random"] = _median_to_target(make_random, config)
-    out["random+"] = _median_to_target(make_randomplus, config)
+    out["random"] = _median_to_target(
+        partial(_make_random, population, bounds, rngs), config
+    )
+    out["random+"] = _median_to_target(
+        partial(_make_randomplus, population, bounds, rngs), config
+    )
     return out
 
 
@@ -122,14 +145,9 @@ def policy_ablation(config: AblationConfig) -> Dict[str, Optional[float]]:
     bounds = even_chunk_bounds(config.total_frames, config.num_chunks)
     out: Dict[str, Optional[float]] = {}
     for policy in ("thompson", "bayes_ucb", "greedy", "uniform"):
-        def make(run_idx: int, policy=policy) -> ExSampleSearcher:
-            env = TemporalEnvironment(population, bounds)
-            return ExSampleSearcher(
-                env,
-                ExSampleConfig(seed=run_idx, policy=policy),
-                rng=rngs.child("ex", policy, run_idx),
-            )
-
+        make = partial(
+            _make_exsample, population, bounds, rngs, (policy,), {"policy": policy}
+        )
         out[policy] = _median_to_target(make, config)
     return out
 
@@ -141,14 +159,14 @@ def prior_ablation(config: AblationConfig) -> Dict[str, Optional[float]]:
     bounds = even_chunk_bounds(config.total_frames, config.num_chunks)
     out: Dict[str, Optional[float]] = {}
     for alpha0, beta0 in ((0.01, 1.0), (0.1, 1.0), (1.0, 1.0), (0.1, 0.1), (0.1, 10.0)):
-        def make(run_idx: int, alpha0=alpha0, beta0=beta0) -> ExSampleSearcher:
-            env = TemporalEnvironment(population, bounds)
-            return ExSampleSearcher(
-                env,
-                ExSampleConfig(seed=run_idx, alpha0=alpha0, beta0=beta0),
-                rng=rngs.child("ex", alpha0, beta0, run_idx),
-            )
-
+        make = partial(
+            _make_exsample,
+            population,
+            bounds,
+            rngs,
+            (alpha0, beta0),
+            {"alpha0": alpha0, "beta0": beta0},
+        )
         out[f"a0={alpha0},b0={beta0}"] = _median_to_target(make, config)
     return out
 
@@ -160,14 +178,14 @@ def batch_ablation(config: AblationConfig) -> Dict[str, Optional[float]]:
     bounds = even_chunk_bounds(config.total_frames, config.num_chunks)
     out: Dict[str, Optional[float]] = {}
     for batch in (1, 8, 64):
-        def make(run_idx: int, batch=batch) -> ExSampleSearcher:
-            env = TemporalEnvironment(population, bounds)
-            return ExSampleSearcher(
-                env,
-                ExSampleConfig(seed=run_idx, batch_size=batch),
-                rng=rngs.child("ex", batch, run_idx),
-            )
-
+        make = partial(
+            _make_exsample,
+            population,
+            bounds,
+            rngs,
+            (batch,),
+            {"batch_size": batch},
+        )
         out[f"batch={batch}"] = _median_to_target(make, config)
     return out
 
@@ -221,15 +239,9 @@ def chunk_count_ablation(
     out: Dict[str, Optional[float]] = {}
     for num_chunks in chunk_counts:
         bounds = even_chunk_bounds(dataset.total_frames, num_chunks)
-
-        def make(run_idx: int, bounds=bounds, num_chunks=num_chunks):
-            env = TemporalEnvironment(population, bounds)
-            return ExSampleSearcher(
-                env,
-                ExSampleConfig(seed=run_idx),
-                rng=rngs.child("ex", num_chunks, run_idx),
-            )
-
+        make = partial(
+            _make_exsample, population, bounds, rngs, (num_chunks,), {}
+        )
         traces = repeated_traces(
             make, config.runs, frame_budget=dataset.total_frames // 4
         )
@@ -262,6 +274,38 @@ def proxy_quality_ablation(
     return out
 
 
+def _seqvar_run(
+    config: AblationConfig, stride: int, target: int, name: str, run_idx: int
+) -> Optional[int]:
+    """One re-placed-population run for the sequential-variance ablation.
+
+    Module-level and fully self-seeded from ``(config.seed, name,
+    run_idx)`` so runs can execute in any worker process with results
+    identical to the historical serial loop.
+    """
+    from repro.baselines.sequential_search import SequentialSearcher
+
+    rngs = RngFactory(config.seed).child("abl-seqvar")
+    population = InstancePopulation.place(
+        config.num_instances,
+        config.total_frames,
+        config.mean_duration,
+        rngs.stream("pop", run_idx),
+        skew_fraction=config.skew,
+        center=float(rngs.stream("center", run_idx).uniform(0.15, 0.85)),
+    )
+    env = TemporalEnvironment.with_even_chunks(population, config.num_chunks)
+    r = rngs.child(name, run_idx)
+    if name == "sequential":
+        searcher = SequentialSearcher(env, rng=r, stride=stride)
+    elif name == "random":
+        searcher = RandomSearcher(env, rng=r)
+    else:
+        searcher = ExSampleSearcher(env, ExSampleConfig(seed=r.seed), rng=r)
+    trace = searcher.run(result_limit=target, frame_budget=config.frame_budget * 4)
+    return trace.samples_to_results(target)
+
+
 def sequential_variance_ablation(
     config: AblationConfig,
     target_fraction: float = 0.25,
@@ -276,43 +320,20 @@ def sequential_variance_ablation(
     actually experiences. Expected: sequential's relative spread dwarfs
     random's.
     """
-    rngs = RngFactory(config.seed).child("abl-seqvar")
     target = max(int(target_fraction * config.num_instances), 1)
     out: Dict[str, Dict[str, Optional[float]]] = {}
-    from repro.baselines.sequential_search import SequentialSearcher
 
     # Pick the §II-B frame-rate reduction so one full strided pass fits
     # inside half the run's frame cap — the setting a practitioner would
     # choose, and the one that makes run-to-run variance (not censoring)
     # the observable.
     stride = max(config.total_frames // (config.frame_budget * 2), 1)
-    makers = {
-        "sequential": lambda env, r: SequentialSearcher(env, rng=r, stride=stride),
-        "random": lambda env, r: RandomSearcher(env, rng=r),
-        "exsample": lambda env, r: ExSampleSearcher(
-            env, ExSampleConfig(seed=r.seed), rng=r
-        ),
-    }
-    for name, make in makers.items():
-        costs: List[float] = []
-        for run_idx in range(config.runs * 2):
-            population = InstancePopulation.place(
-                config.num_instances,
-                config.total_frames,
-                config.mean_duration,
-                rngs.stream("pop", run_idx),
-                skew_fraction=config.skew,
-                center=float(rngs.stream("center", run_idx).uniform(0.15, 0.85)),
-            )
-            env = TemporalEnvironment.with_even_chunks(
-                population, config.num_chunks
-            )
-            trace = make(env, rngs.child(name, run_idx)).run(
-                result_limit=target, frame_budget=config.frame_budget * 4
-            )
-            needed = trace.samples_to_results(target)
-            if needed is not None:
-                costs.append(float(needed))
+    for name in ("sequential", "random", "exsample"):
+        needed_per_run = parallel_map(
+            partial(_seqvar_run, config, stride, target, name),
+            range(config.runs * 2),
+        )
+        costs: List[float] = [float(n) for n in needed_per_run if n is not None]
         if costs:
             arr = np.array(costs)
             median = float(np.median(arr))

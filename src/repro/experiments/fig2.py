@@ -18,11 +18,13 @@ The paper's qualitative findings this harness verifies:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Tuple
 
 import numpy as np
 
-from repro.theory.coin_sim import RunTuples, simulate_many_runs
+from repro.experiments.parallel import parallel_map
+from repro.theory.coin_sim import RunTuples, simulate_run_fast
 from repro.theory.estimator_validation import (
     CellReport,
     bias_profile,
@@ -60,13 +62,42 @@ class Fig2Result:
     tuples: RunTuples
 
 
+def _simulate_block(
+    p: np.ndarray, checkpoints: np.ndarray, seed: int, indices: Tuple[int, ...]
+) -> RunTuples:
+    """Simulate a block of runs, each on its own run-indexed stream.
+
+    Per-run streams (``(seed, "fig2run", run_idx)``) make every run
+    independent of which process — and which block — executes it, so the
+    pooled tuples are identical for any job count or block split.
+    """
+    rngs = RngFactory(seed)
+    return RunTuples.concatenate(
+        [
+            simulate_run_fast(p, checkpoints, rngs.stream("fig2run", idx))
+            for idx in indices
+        ]
+    )
+
+
 def run(config: Fig2Config) -> Fig2Result:
     rngs = RngFactory(config.seed)
     p = lognormal_probabilities(config.num_instances, rngs.stream("p"))
     checkpoints = np.unique(
         np.geomspace(10, config.max_n, num=config.checkpoints).astype(np.int64)
     )
-    tuples = simulate_many_runs(p, checkpoints, config.runs, rngs.stream("runs"))
+    # A fixed number of contiguous blocks (not a function of the job
+    # count) keeps the pooled tuple order — and hence every downstream
+    # statistic — identical for any REPRO_JOBS setting.
+    num_blocks = min(16, config.runs)
+    bounds = np.linspace(0, config.runs, num_blocks + 1).astype(int)
+    run_blocks = [
+        tuple(range(lo, hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+    ]
+    parts = parallel_map(
+        partial(_simulate_block, p, checkpoints, config.seed), run_blocks
+    )
+    tuples = RunTuples.concatenate(parts)
     cells = []
     for n, n1 in populated_cells(tuples, num_cells=6):
         report = cell_report(tuples, n, n1)

@@ -16,6 +16,7 @@ skew 1/256 — and ExSample never does significantly worse than random.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -23,6 +24,7 @@ import numpy as np
 from repro.baselines.random_search import RandomSearcher
 from repro.core.config import ExSampleConfig
 from repro.core.sampler import ExSampleSearcher
+from repro.experiments.parallel import parallel_map
 from repro.experiments.runner import median_samples_to, repeated_traces
 from repro.theory.instances import InstancePopulation, even_chunk_bounds
 from repro.theory.optimal_weights import expected_found
@@ -92,6 +94,19 @@ class Fig3Result:
         return out
 
 
+def _make_exsample(population, bounds, rngs: RngFactory, run_idx: int) -> ExSampleSearcher:
+    """Module-level (hence picklable) searcher factory for parallel runs."""
+    env = TemporalEnvironment(population, bounds)
+    return ExSampleSearcher(
+        env, ExSampleConfig(seed=run_idx), rng=rngs.child("ex", run_idx)
+    )
+
+
+def _make_random(population, bounds, rngs: RngFactory, run_idx: int) -> RandomSearcher:
+    env = TemporalEnvironment(population, bounds)
+    return RandomSearcher(env, rng=rngs.child("rnd", run_idx))
+
+
 def run_cell(
     config: Fig3Config, skew: Optional[float], duration: int
 ) -> Fig3Cell:
@@ -105,15 +120,8 @@ def run_cell(
     )
     bounds = even_chunk_bounds(config.total_frames, config.num_chunks)
 
-    def make_exsample(run_idx: int) -> ExSampleSearcher:
-        env = TemporalEnvironment(population, bounds)
-        return ExSampleSearcher(
-            env, ExSampleConfig(seed=run_idx), rng=rngs.child("ex", run_idx)
-        )
-
-    def make_random(run_idx: int) -> RandomSearcher:
-        env = TemporalEnvironment(population, bounds)
-        return RandomSearcher(env, rng=rngs.child("rnd", run_idx))
+    make_exsample = partial(_make_exsample, population, bounds, rngs)
+    make_random = partial(_make_random, population, bounds, rngs)
 
     ex_traces = repeated_traces(
         make_exsample, config.runs, frame_budget=config.frame_budget
@@ -153,12 +161,23 @@ def run_cell(
     )
 
 
+def _run_cell_task(config: Fig3Config, cell: Tuple[Optional[float], int]) -> Fig3Cell:
+    return run_cell(config, cell[0], cell[1])
+
+
 def run(config: Fig3Config) -> Fig3Result:
-    cells = [
-        run_cell(config, skew, duration)
+    """Run the 16-cell grid; cells fan out over ``REPRO_JOBS`` workers.
+
+    Each cell is self-seeded from ``(config.seed, skew, duration)``, so the
+    parallel grid is element-wise identical to the serial one. Inside a
+    worker the per-cell ``repeated_traces`` stays serial (no nested pools).
+    """
+    grid = [
+        (skew, duration)
         for duration in config.durations
         for skew in config.skews
     ]
+    cells = parallel_map(partial(_run_cell_task, config), grid)
     return Fig3Result(cells=cells, config=config)
 
 

@@ -14,6 +14,7 @@ findings this harness reproduces:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Tuple
 
 import numpy as np
@@ -89,6 +90,23 @@ class Fig4Result:
     config: Fig4Config
 
 
+def _make_exsample(
+    population, bounds, rngs: RngFactory, num_chunks: int, run_idx: int
+) -> ExSampleSearcher:
+    """Module-level (hence picklable) searcher factory for parallel runs."""
+    env = TemporalEnvironment(population, bounds)
+    return ExSampleSearcher(
+        env,
+        ExSampleConfig(seed=run_idx),
+        rng=rngs.child("ex", num_chunks, run_idx),
+    )
+
+
+def _make_random(population, rngs: RngFactory, run_idx: int) -> RandomSearcher:
+    env = TemporalEnvironment.with_even_chunks(population, 1)
+    return RandomSearcher(env, rng=rngs.child("rnd", run_idx))
+
+
 def run(config: Fig4Config) -> Fig4Result:
     rngs = RngFactory(config.seed).child("fig4")
     population = InstancePopulation.place(
@@ -103,16 +121,10 @@ def run(config: Fig4Config) -> Fig4Result:
     for num_chunks in config.chunk_counts:
         bounds = even_chunk_bounds(config.total_frames, num_chunks)
 
-        def make_exsample(run_idx: int, bounds=bounds) -> ExSampleSearcher:
-            env = TemporalEnvironment(population, bounds)
-            return ExSampleSearcher(
-                env,
-                ExSampleConfig(seed=run_idx),
-                rng=rngs.child("ex", num_chunks, run_idx),
-            )
-
         traces = repeated_traces(
-            make_exsample, config.runs, frame_budget=config.frame_budget
+            partial(_make_exsample, population, bounds, rngs, num_chunks),
+            config.runs,
+            frame_budget=config.frame_budget,
         )
         median, low, high = median_discovery(traces, grid)
         p_matrix = population.chunk_probabilities(bounds)
@@ -132,12 +144,10 @@ def run(config: Fig4Config) -> Fig4Result:
             )
         )
 
-    def make_random(run_idx: int) -> RandomSearcher:
-        env = TemporalEnvironment.with_even_chunks(population, 1)
-        return RandomSearcher(env, rng=rngs.child("rnd", run_idx))
-
     random_traces = repeated_traces(
-        make_random, config.runs, frame_budget=config.frame_budget
+        partial(_make_random, population, rngs),
+        config.runs,
+        frame_budget=config.frame_budget,
     )
     random_median, _, _ = median_discovery(random_traces, grid)
     return Fig4Result(

@@ -14,17 +14,17 @@ geometric mean ≈ 1.9x across all bars, 0.9-percentile ≈ 3.7x, 0.1-percentile
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.experiments.parallel import dataset_engine, parallel_map
 from repro.experiments.table1 import QUICK_CLASSES
-from repro.query.engine import QueryEngine
 from repro.query.metrics import savings_ratio
 from repro.query.query import DistinctObjectQuery
 from repro.utils.stats import geometric_mean
 from repro.utils.tables import ascii_table
-from repro.video.datasets import make_dataset
 
 
 @dataclass(frozen=True)
@@ -98,39 +98,70 @@ class Fig5Result:
         return geometric_mean(all_ratios) if all_ratios else float("nan")
 
 
+def _run_trial(
+    scale: float,
+    seed: int,
+    recalls: Tuple[float, ...],
+    task: Tuple[str, str, int],
+) -> Dict[float, Optional[float]]:
+    """One (dataset, class, trial) unit: ExSample vs random savings ratios.
+
+    Module-level and self-contained (the engine is resolved through the
+    process-local :func:`dataset_engine` memo) so trials can run in any
+    worker; each trial depends only on ``(seed, class, trial)``, never on
+    execution order.
+    """
+    ds_name, class_name, trial = task
+    dataset, engine = dataset_engine(ds_name, scale, seed)
+    query = DistinctObjectQuery(
+        class_name,
+        recall_target=max(recalls),
+        frame_budget=dataset.total_frames // 2,
+    )
+    ex = engine.run(query, method="exsample", run_seed=trial)
+    rnd = engine.run(query, method="random", run_seed=trial)
+    return {
+        recall: savings_ratio(rnd.trace, ex.trace, ex.gt_count, recall, mode="time")
+        for recall in recalls
+    }
+
+
 def run(config: Fig5Config) -> Fig5Result:
-    bars: List[Fig5Bar] = []
-    max_recall = max(config.recalls)
+    # Enumerate every (dataset, class, trial) unit up front, then fan the
+    # flat list out over workers; datasets built here pre-warm the
+    # process-local memo the workers resolve through.
+    bar_keys: List[Tuple[str, str, int]] = []
+    tasks: List[Tuple[str, str, int]] = []
     for ds_name in config.datasets:
-        dataset = make_dataset(ds_name, scale=config.scale, seed=config.seed)
-        engine = QueryEngine(dataset, seed=config.seed)
-        classes = _select_classes(ds_name, dataset.classes, config)
-        budget = dataset.total_frames // 2
-        for class_name in classes:
-            query = DistinctObjectQuery(
-                class_name, recall_target=max_recall, frame_budget=budget
+        dataset, _ = dataset_engine(ds_name, config.scale, config.seed)
+        for class_name in _select_classes(ds_name, dataset.classes, config):
+            bar_keys.append((ds_name, class_name, dataset.gt_count(class_name)))
+            tasks.extend(
+                (ds_name, class_name, trial) for trial in range(config.trials)
             )
-            per_recall: Dict[float, List[float]] = {r: [] for r in config.recalls}
-            for trial in range(config.trials):
-                ex = engine.run(query, method="exsample", run_seed=trial)
-                rnd = engine.run(query, method="random", run_seed=trial)
-                for recall in config.recalls:
-                    ratio = savings_ratio(
-                        rnd.trace, ex.trace, ex.gt_count, recall, mode="time"
-                    )
-                    if ratio is not None:
-                        per_recall[recall].append(ratio)
-            bars.append(
-                Fig5Bar(
-                    dataset=ds_name,
-                    class_name=class_name,
-                    gt_count=dataset.gt_count(class_name),
-                    savings={
-                        r: (float(np.median(v)) if v else None)
-                        for r, v in per_recall.items()
-                    },
-                )
-            )
+    results = parallel_map(
+        partial(_run_trial, config.scale, config.seed, config.recalls), tasks
+    )
+    by_bar: Dict[Tuple[str, str], Dict[float, List[float]]] = {}
+    for (ds_name, class_name, _trial), ratios in zip(tasks, results):
+        per_recall = by_bar.setdefault(
+            (ds_name, class_name), {r: [] for r in config.recalls}
+        )
+        for recall, ratio in ratios.items():
+            if ratio is not None:
+                per_recall[recall].append(ratio)
+    bars = [
+        Fig5Bar(
+            dataset=ds_name,
+            class_name=class_name,
+            gt_count=gt_count,
+            savings={
+                r: (float(np.median(v)) if v else None)
+                for r, v in by_bar[(ds_name, class_name)].items()
+            },
+        )
+        for ds_name, class_name, gt_count in bar_keys
+    ]
     return Fig5Result(bars=bars, config=config)
 
 

@@ -22,16 +22,16 @@ the advantage.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.query.engine import QueryEngine
+from repro.experiments.parallel import dataset_engine, parallel_map
 from repro.query.metrics import savings_ratio
 from repro.query.query import DistinctObjectQuery
 from repro.theory.skew import SkewSummary
 from repro.utils.tables import ascii_table
-from repro.video.datasets import make_dataset
 
 #: The paper's five representative queries with their published N and S.
 PAPER_EXEMPLARS: Tuple[Tuple[str, str, int, float], ...] = (
@@ -75,26 +75,43 @@ class Fig6Result:
     config: Fig6Config
 
 
+def _run_trial(
+    scale: float, seed: int, recall: float, task: Tuple[str, str, int]
+) -> Optional[float]:
+    """One (dataset, class, trial) savings measurement (picklable unit)."""
+    ds_name, class_name, trial = task
+    dataset, engine = dataset_engine(ds_name, scale, seed)
+    query = DistinctObjectQuery(
+        class_name,
+        recall_target=recall,
+        frame_budget=dataset.total_frames // 2,
+    )
+    ex = engine.run(query, method="exsample", run_seed=trial)
+    rnd = engine.run(query, method="random", run_seed=trial)
+    return savings_ratio(rnd.trace, ex.trace, ex.gt_count, recall, mode="time")
+
+
 def run(config: Fig6Config) -> Fig6Result:
+    tasks = [
+        (ds_name, class_name, trial)
+        for ds_name, class_name, _, _ in PAPER_EXEMPLARS
+        for trial in range(config.trials)
+    ]
+    # Pre-warm the dataset/engine memo (shared with forked workers).
+    for ds_name, _, _, _ in PAPER_EXEMPLARS:
+        dataset_engine(ds_name, config.scale, config.seed)
+    results = parallel_map(
+        partial(_run_trial, config.scale, config.seed, config.recall), tasks
+    )
+    ratio_lists: dict = {}
+    for (ds_name, class_name, _trial), ratio in zip(tasks, results):
+        if ratio is not None:
+            ratio_lists.setdefault((ds_name, class_name), []).append(ratio)
     panels: List[Fig6Panel] = []
     for ds_name, class_name, paper_n, paper_s in PAPER_EXEMPLARS:
-        dataset = make_dataset(ds_name, scale=config.scale, seed=config.seed)
-        engine = QueryEngine(dataset, seed=config.seed)
+        dataset, _ = dataset_engine(ds_name, config.scale, config.seed)
         summary = SkewSummary.from_counts(dataset.skew_counts(class_name))
-        query = DistinctObjectQuery(
-            class_name,
-            recall_target=config.recall,
-            frame_budget=dataset.total_frames // 2,
-        )
-        ratios = []
-        for trial in range(config.trials):
-            ex = engine.run(query, method="exsample", run_seed=trial)
-            rnd = engine.run(query, method="random", run_seed=trial)
-            ratio = savings_ratio(
-                rnd.trace, ex.trace, ex.gt_count, config.recall, mode="time"
-            )
-            if ratio is not None:
-                ratios.append(ratio)
+        ratios = ratio_lists.get((ds_name, class_name), [])
         panels.append(
             Fig6Panel(
                 dataset=ds_name,

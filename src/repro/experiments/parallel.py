@@ -1,0 +1,214 @@
+"""Process-parallel experiment execution with serial-identical results.
+
+Every experiment in this library repeats deterministic, independent work:
+``repeated_traces`` runs one searcher factory over N run indices,
+``sweep_methods`` runs one query under every registered method, and the
+figure harnesses iterate (dataset × class × trial) grids. Each unit derives
+its randomness from its own index (child ``RngFactory`` streams keyed on the
+run index, per-frame detector streams keyed on the frame), so units can
+execute in any process in any order and produce byte-identical results —
+the only thing parallelism may change is wall-clock time.
+
+:func:`parallel_map` is the one primitive: an order-stable process-parallel
+map over picklable tasks built on :class:`concurrent.futures
+.ProcessPoolExecutor`. It degrades to a plain serial loop whenever
+
+* the effective job count is 1 (the default — set ``REPRO_JOBS`` or pass
+  ``jobs=``/``--jobs`` to opt in),
+* there is at most one task,
+* the callable does not pickle (e.g. a locally defined closure), or
+* it is already running inside a worker (no nested pools).
+
+Workers mark themselves via the ``REPRO_IN_WORKER`` environment variable,
+so nested ``parallel_map`` calls (a parallelised experiment whose cells
+call ``repeated_traces``) stay serial instead of oversubscribing.
+
+Worker processes rebuild datasets/engines on demand through
+:func:`dataset_engine`, a process-local memo — on fork-based platforms a
+parent that already built the engine shares it with every worker for free,
+and within one worker the engine's detection cache accumulates across that
+worker's tasks exactly as it does serially.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from functools import lru_cache, partial
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.sampler import SearchTrace
+from repro.errors import ConfigError
+
+__all__ = [
+    "dataset_engine",
+    "parallel_map",
+    "parallel_sweep_methods",
+    "parallel_traces",
+    "resolve_jobs",
+]
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: ``jobs`` if given, else ``REPRO_JOBS``, else 1.
+
+    Always 1 inside a worker process (no nested pools).
+    """
+    if os.environ.get("REPRO_IN_WORKER") == "1":
+        return 1
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError as exc:
+            raise ConfigError(
+                f"REPRO_JOBS must be an integer, got {raw!r}"
+            ) from exc
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _init_worker() -> None:
+    os.environ["REPRO_IN_WORKER"] = "1"
+
+
+def _is_picklable(obj: object) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def parallel_map(
+    fn: Callable, items: Iterable, *, jobs: Optional[int] = None
+) -> List:
+    """Order-stable map over ``items``, process-parallel when possible.
+
+    Results arrive in item order regardless of completion order, so for a
+    deterministic ``fn`` the output is element-wise identical to
+    ``[fn(item) for item in items]``. Falls back to exactly that serial
+    loop when parallelism is off, unavailable, or ``fn`` cannot be
+    pickled; a worker exception propagates to the caller either way.
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(items) <= 1 or not _is_picklable((fn, items)):
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)), initializer=_init_worker
+    ) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
+
+# -- repeated searcher runs --------------------------------------------------
+
+
+def _run_one_trace(make_searcher: Callable, limits: dict, run_idx: int):
+    return make_searcher(run_idx).run(**limits)
+
+
+def parallel_traces(
+    make_searcher: Callable[[int], object],
+    runs: int,
+    *,
+    jobs: Optional[int] = None,
+    frame_budget: Optional[int] = None,
+    result_limit: Optional[int] = None,
+    distinct_real_limit: Optional[int] = None,
+) -> List[SearchTrace]:
+    """Run ``make_searcher(run_idx)`` for each run index, possibly in parallel.
+
+    ``make_searcher`` must return a searcher over a *fresh* environment and
+    derive all randomness from ``run_idx`` (the convention every experiment
+    module already follows); it must be picklable — a ``functools.partial``
+    over a module-level function — for the parallel path to engage.
+    Results are gathered in run order, element-wise identical to the
+    serial loop.
+    """
+    limits = dict(
+        frame_budget=frame_budget,
+        result_limit=result_limit,
+        distinct_real_limit=distinct_real_limit,
+    )
+    return parallel_map(
+        partial(_run_one_trace, make_searcher, limits), range(runs), jobs=jobs
+    )
+
+
+# -- method sweeps -----------------------------------------------------------
+
+
+def _run_one_method(engine, query, run_seed: int, kwargs: dict, task):
+    method, spec = task
+    from repro.core.registry import SEARCH_METHODS, register_searcher
+
+    # Each task carries its SearcherSpec: unpickling it imports the
+    # factory's defining module, which on spawn-start platforms (no
+    # inherited parent state) is what brings third-party plug-in modules
+    # into the worker at all. Modules that self-register on import (the
+    # library convention) land in the registry during that import; for
+    # any that do not, re-register from the shipped spec.
+    if method not in SEARCH_METHODS:
+        register_searcher(
+            method,
+            description=spec.description,
+            accepts_extras=spec.accepts_extras,
+        )(spec.factory)
+    return engine.run(query, method=method, run_seed=run_seed, **kwargs)
+
+
+def parallel_sweep_methods(
+    engine,
+    query,
+    methods: Optional[Sequence[str]] = None,
+    run_seed: int = 0,
+    jobs: Optional[int] = None,
+    **searcher_kwargs,
+) -> Dict[str, object]:
+    """Run one query under every method; returns {method: outcome}.
+
+    The parallel counterpart of :func:`repro.experiments.runner
+    .sweep_methods` (which delegates here): each method runs in its own
+    worker against a pickled copy of the engine. Outcomes are identical to
+    the serial sweep — every run derives only from ``(engine seed, method,
+    run_seed)`` — and arrive in method order. Third-party methods travel
+    as their :class:`~repro.core.registry.SearcherSpec`, so workers on
+    spawn-start platforms re-import/re-register them; a plug-in whose
+    spec cannot be pickled degrades to the serial sweep.
+    """
+    from repro.core.registry import SEARCH_METHODS, searcher_spec
+
+    chosen = tuple(methods) if methods is not None else tuple(SEARCH_METHODS)
+    tasks = [(method, searcher_spec(method)) for method in chosen]
+    outcomes = parallel_map(
+        partial(_run_one_method, engine, query, run_seed, searcher_kwargs),
+        tasks,
+        jobs=jobs,
+    )
+    return dict(zip(chosen, outcomes))
+
+
+# -- process-local dataset/engine memo ---------------------------------------
+
+
+@lru_cache(maxsize=None)
+def dataset_engine(name: str, scale: float, seed: int):
+    """A process-local ``(dataset, engine)`` for the given parameters.
+
+    Workers use this to amortise dataset construction across their tasks;
+    on fork-based platforms (Linux) a parent that called it before fanning
+    out shares the built objects with every worker through copy-on-write
+    memory. The engine carries the default unbounded detection cache, so
+    repeated tasks in one process also share detections.
+    """
+    from repro.query.engine import QueryEngine
+    from repro.video.datasets import make_dataset
+
+    dataset = make_dataset(name, scale=scale, seed=seed)
+    return dataset, QueryEngine(dataset, seed=seed)

@@ -38,23 +38,28 @@ def repeated_traces(
     frame_budget: int | None = None,
     result_limit: int | None = None,
     distinct_real_limit: int | None = None,
+    jobs: int | None = None,
 ) -> List[SearchTrace]:
     """Run a freshly constructed searcher ``runs`` times.
 
     ``make_searcher(run_index)`` must return a searcher over a *fresh*
-    environment (environments are stateful across a run).
+    environment (environments are stateful across a run) and derive its
+    randomness from the run index, which makes every run independent of
+    execution order. ``jobs`` (default: the ``REPRO_JOBS`` environment
+    variable, else 1) fans the runs out over worker processes via
+    :func:`repro.experiments.parallel.parallel_traces`; traces come back
+    in run order, element-wise identical to the serial loop.
     """
-    traces = []
-    for run_idx in range(runs):
-        searcher = make_searcher(run_idx)
-        traces.append(
-            searcher.run(
-                frame_budget=frame_budget,
-                result_limit=result_limit,
-                distinct_real_limit=distinct_real_limit,
-            )
-        )
-    return traces
+    from repro.experiments.parallel import parallel_traces
+
+    return parallel_traces(
+        make_searcher,
+        runs,
+        jobs=jobs,
+        frame_budget=frame_budget,
+        result_limit=result_limit,
+        distinct_real_limit=distinct_real_limit,
+    )
 
 
 def sample_grid(max_samples: int, points: int = 60) -> np.ndarray:
@@ -100,6 +105,7 @@ def sweep_methods(
     query,
     methods: Sequence[str] | None = None,
     run_seed: int = 0,
+    jobs: int | None = None,
     **searcher_kwargs,
 ):
     """Run one query under every search method; returns {method: outcome}.
@@ -107,14 +113,17 @@ def sweep_methods(
     ``methods`` defaults to the live ``SEARCH_METHODS`` registry view, so a
     method registered with ``@register_searcher`` — third-party plug-ins
     included — joins every sweep (and the CLI ``compare`` table) without
-    any experiment-side edits.
+    any experiment-side edits. ``jobs`` distributes the methods over
+    worker processes (outcomes are identical to the serial sweep; see
+    :mod:`repro.experiments.parallel`).
     """
-    from repro.core.registry import SEARCH_METHODS
+    from repro.experiments.parallel import parallel_sweep_methods
 
-    chosen = tuple(methods) if methods is not None else tuple(SEARCH_METHODS)
-    return {
-        method: engine.run(
-            query, method=method, run_seed=run_seed, **searcher_kwargs
-        )
-        for method in chosen
-    }
+    return parallel_sweep_methods(
+        engine,
+        query,
+        methods=methods,
+        run_seed=run_seed,
+        jobs=jobs,
+        **searcher_kwargs,
+    )

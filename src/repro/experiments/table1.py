@@ -17,14 +17,14 @@ The harness reports each row plus the count of rows violating that relation
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
+from repro.experiments.parallel import dataset_engine, parallel_map
 from repro.query.cost import CostModel
-from repro.query.engine import QueryEngine
 from repro.query.metrics import time_to_recall
 from repro.query.query import DistinctObjectQuery
 from repro.utils.tables import ascii_table, format_duration
-from repro.video.datasets import make_dataset
 
 #: Classes evaluated per dataset in quick mode (representative subset,
 #: including every Figure 6 exemplar). Full mode uses all classes.
@@ -101,34 +101,44 @@ class Table1Result:
         return sum(1 for row in self.rows if row.beats_scan_at(recall) is False)
 
 
+def _run_row(
+    scale: float,
+    seed: int,
+    recalls: Tuple[float, ...],
+    task: Tuple[str, str],
+) -> Table1Row:
+    """One (dataset, class) table row — a picklable parallel unit."""
+    ds_name, class_name = task
+    dataset, engine = dataset_engine(ds_name, scale, seed)
+    query = DistinctObjectQuery(
+        class_name,
+        recall_target=max(recalls),
+        frame_budget=dataset.total_frames,
+    )
+    outcome = engine.run(query, method="exsample")
+    return Table1Row(
+        dataset=ds_name,
+        class_name=class_name,
+        scan_seconds=CostModel().scan_cost(dataset.total_frames),
+        time_to={
+            recall: time_to_recall(outcome.trace, outcome.gt_count, recall)
+            for recall in recalls
+        },
+        gt_count=outcome.gt_count,
+    )
+
+
 def run(config: Table1Config) -> Table1Result:
-    rows: List[Table1Row] = []
-    cost_model = CostModel()
+    tasks: List[Tuple[str, str]] = []
     for ds_name in config.datasets:
-        dataset = make_dataset(ds_name, scale=config.scale, seed=config.seed)
-        engine = QueryEngine(dataset, cost_model=cost_model, seed=config.seed)
-        scan_seconds = cost_model.scan_cost(dataset.total_frames)
-        classes = _select_classes(ds_name, dataset.classes, config)
-        for class_name in classes:
-            query = DistinctObjectQuery(
-                class_name,
-                recall_target=max(config.recalls),
-                frame_budget=dataset.total_frames,
-            )
-            outcome = engine.run(query, method="exsample")
-            times = {
-                recall: time_to_recall(outcome.trace, outcome.gt_count, recall)
-                for recall in config.recalls
-            }
-            rows.append(
-                Table1Row(
-                    dataset=ds_name,
-                    class_name=class_name,
-                    scan_seconds=scan_seconds,
-                    time_to=times,
-                    gt_count=outcome.gt_count,
-                )
-            )
+        dataset, _ = dataset_engine(ds_name, config.scale, config.seed)
+        tasks.extend(
+            (ds_name, class_name)
+            for class_name in _select_classes(ds_name, dataset.classes, config)
+        )
+    rows = parallel_map(
+        partial(_run_row, config.scale, config.seed, config.recalls), tasks
+    )
     return Table1Result(rows=rows, config=config)
 
 

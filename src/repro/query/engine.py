@@ -36,6 +36,7 @@ from repro.core.registry import (
     searcher_spec,
 )
 from repro.core.sampler import Searcher, SearchTrace
+from repro.detection.cache import CacheInfo, CacheSpec, make_detection_cache
 from repro.detection.proxy import ProxyModel
 from repro.detection.simulated import DetectorProfile, SimulatedDetector
 from repro.errors import QueryError
@@ -208,7 +209,17 @@ class VideoSearchEnvironment:
 
 
 class QueryEngine:
-    """Runs distinct-object queries over a dataset with any search method."""
+    """Runs distinct-object queries over a dataset with any search method.
+
+    ``detection_cache`` configures result memoization on the engine's
+    detector: ``"unbounded"`` (the default — detection is a pure function
+    of ``(seed, video, frame)``, so every run over this engine pays
+    detection once per distinct frame), ``"lru"``, ``"off"``, or a
+    pre-built :class:`~repro.detection.DetectionCache` (e.g. an LRU with a
+    custom capacity). Caching changes wall-clock time only, never a trace.
+    When an explicit ``detector`` is passed, its own cache configuration is
+    respected and ``detection_cache`` is ignored.
+    """
 
     def __init__(
         self,
@@ -217,14 +228,30 @@ class QueryEngine:
         cost_model: Optional[CostModel] = None,
         detector_profile: Optional[DetectorProfile] = None,
         seed: int = 0,
+        detection_cache: CacheSpec = "unbounded",
     ):
         self.dataset = dataset
         self.seed = seed
         self.detector = detector or SimulatedDetector(
-            dataset.world, profile=detector_profile, seed=seed
+            dataset.world,
+            profile=detector_profile,
+            seed=seed,
+            cache=make_detection_cache(detection_cache),
         )
         self.cost_model = cost_model or CostModel()
         self._proxies: Dict[tuple, ProxyModel] = {}
+
+    # -- cache introspection -------------------------------------------------
+
+    @property
+    def detection_cache(self):
+        """The detector's :class:`DetectionCache`, or None when off."""
+        return getattr(self.detector, "cache", None)
+
+    def cache_info(self) -> Optional[CacheInfo]:
+        """Hit/miss counters of the detection cache (None when off)."""
+        cache = self.detection_cache
+        return cache.info() if cache is not None else None
 
     # -- construction helpers ----------------------------------------------
 

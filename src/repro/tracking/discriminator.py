@@ -38,6 +38,73 @@ from repro.video.geometry import iou_matrix
 from repro.video.synthetic import SyntheticWorld
 
 
+class _TrackColumns:
+    """Columnar store of one (video, class) group's tracks.
+
+    Matching needs, per candidate track: does it cover the frame
+    (``starts``/``ends``) and where is its box at the frame (linear
+    interpolation ``entry + delta * clip((frame - t0) / denom, 0, 1)``;
+    false-positive tracks carry ``delta = 0`` so the expression collapses
+    to their anchor box). Keeping those as amortised-growth numpy arrays
+    turns the per-candidate ``covers``/``box_at`` Python calls of the
+    matching hot path into a handful of whole-group expressions.
+    """
+
+    def __init__(self, capacity: int = 8):
+        self.size = 0
+        self.ids = np.empty(capacity, dtype=np.int64)
+        self.starts = np.empty(capacity, dtype=np.int64)
+        self.ends = np.empty(capacity, dtype=np.int64)
+        self.t0 = np.empty(capacity, dtype=float)
+        self.denom = np.empty(capacity, dtype=float)
+        self.entry = np.empty((capacity, 4), dtype=float)
+        self.delta = np.empty((capacity, 4), dtype=float)
+
+    def append(
+        self,
+        track_id: int,
+        start: int,
+        end: int,
+        t0: float,
+        denom: float,
+        entry: np.ndarray,
+        delta: np.ndarray,
+    ) -> None:
+        n = self.size
+        if n == self.ids.size:
+            grow = max(2 * n, 8)
+            for name in ("ids", "starts", "ends", "t0", "denom"):
+                old = getattr(self, name)
+                new = np.empty(grow, dtype=old.dtype)
+                new[:n] = old
+                setattr(self, name, new)
+            for name in ("entry", "delta"):
+                old = getattr(self, name)
+                new = np.empty((grow, 4), dtype=old.dtype)
+                new[:n] = old
+                setattr(self, name, new)
+        self.ids[n] = track_id
+        self.starts[n] = start
+        self.ends[n] = end
+        self.t0[n] = t0
+        self.denom[n] = denom
+        self.entry[n] = entry
+        self.delta[n] = delta
+        self.size = n + 1
+
+    def active(self, frame: int) -> np.ndarray:
+        """Row indices of tracks covering ``frame``."""
+        n = self.size
+        return np.flatnonzero(
+            (self.starts[:n] <= frame) & (frame < self.ends[:n])
+        )
+
+    def boxes_at(self, rows: np.ndarray, frame: int) -> np.ndarray:
+        """Tracked boxes (len(rows), 4) at ``frame``."""
+        t = np.clip((frame - self.t0[rows]) / self.denom[rows], 0.0, 1.0)
+        return self.entry[rows] + self.delta[rows] * t[:, None]
+
+
 @dataclass
 class FrameMatchResult:
     """Everything one frame's discrimination produced.
@@ -72,8 +139,10 @@ class TrackDiscriminator:
         self.track_loss_per_frame = track_loss_per_frame
         self.seed = seed
         self.tracks: List[Track] = []
-        # Per (video, class) index of track ids, to keep matching cheap.
-        self._index: Dict[Tuple[int, str], List[int]] = {}
+        # Per (video, class) columnar index of tracks, to keep matching
+        # cheap: candidate filtering and box interpolation are whole-group
+        # numpy expressions (see :class:`_TrackColumns`).
+        self._index: Dict[Tuple[int, str], _TrackColumns] = {}
         self._pending: Optional[Tuple[int, int, tuple, List[Detection], List[Detection]]] = None
 
 
@@ -164,24 +233,43 @@ class TrackDiscriminator:
     ) -> Tuple[List[Detection], List[Detection], Dict[int, int]]:
         if not detections:
             return [], [], {}
-        candidate_ids = [
-            tid
-            for cls in {d.class_name for d in detections}
-            for tid in self._index.get((video, cls), [])
-            if self.tracks[tid].covers(video, frame)
-        ]
-        if not candidate_ids:
+        # Candidates are gathered per class (classes in sorted order for
+        # cross-process determinism; within a class, tracks in creation
+        # order, as the historical id-list index yielded them). A detection
+        # only ever scores against same-class tracks, so the assembled
+        # matrix equals the historical all-pairs IoU with cross-class
+        # entries zeroed — and greedy matching decomposes per class, so the
+        # resulting pair set is unchanged.
+        rows_by_class: Dict[str, List[int]] = {}
+        for i, det in enumerate(detections):
+            rows_by_class.setdefault(det.class_name, []).append(i)
+        blocks = []
+        total_candidates = 0
+        for cls in sorted(rows_by_class):
+            columns = self._index.get((video, cls))
+            if columns is None:
+                continue
+            active = columns.active(frame)
+            if active.size == 0:
+                continue
+            blocks.append((rows_by_class[cls], columns, active))
+            total_candidates += int(active.size)
+        if not total_candidates:
             return list(detections), [], {}
-        det_boxes = np.stack([d.box.as_array() for d in detections])
-        track_boxes = np.stack(
-            [self.tracks[tid].box_at(frame).as_array() for tid in candidate_ids]
+        det_boxes = np.array(
+            [(d.box.x1, d.box.y1, d.box.x2, d.box.y2) for d in detections]
         )
-        iou = iou_matrix(det_boxes, track_boxes)
-        # Class must agree as well as geometry.
-        for di, det in enumerate(detections):
-            for ti, tid in enumerate(candidate_ids):
-                if self.tracks[tid].class_name != det.class_name:
-                    iou[di, ti] = 0.0
+        iou = np.zeros((len(detections), total_candidates))
+        candidate_ids: List[int] = []
+        col = 0
+        for det_rows, columns, active in blocks:
+            track_boxes = columns.boxes_at(active, frame)
+            iou[
+                np.asarray(det_rows)[:, None],
+                np.arange(col, col + active.size)[None, :],
+            ] = iou_matrix(det_boxes[det_rows], track_boxes)
+            candidate_ids.extend(columns.ids[active].tolist())
+            col += int(active.size)
         pairs = greedy_match(iou, self.iou_threshold)
         assignment = {di: candidate_ids[ti] for di, ti in pairs}
         d0 = [d for i, d in enumerate(detections) if i not in assignment]
@@ -204,6 +292,9 @@ class TrackDiscriminator:
                 instance=None,
                 anchor_box=det.box,
             )
+            entry = det.box.as_array()
+            delta = np.zeros(4)
+            t0, denom = float(det.frame), 1.0
         else:
             instance = self.world.instances[det.instance_uid]
             rng = spawn_rng(self.seed, "trackext", track_id, det.frame)
@@ -217,8 +308,16 @@ class TrackDiscriminator:
                 instance=instance,
                 anchor_box=det.box,
             )
+            entry = instance.entry_box.as_array()
+            delta = instance.exit_box.as_array() - entry
+            t0 = float(instance.start)
+            denom = float(max(instance.duration - 1, 1))
         self.tracks.append(track)
-        self._index.setdefault((track.video, track.class_name), []).append(track_id)
+        key = (track.video, track.class_name)
+        columns = self._index.get(key)
+        if columns is None:
+            columns = self._index[key] = _TrackColumns()
+        columns.append(track_id, track.start, track.end, t0, denom, entry, delta)
         return track
 
     def _extend(

@@ -87,13 +87,23 @@ class OnlineIoUTracker:
         if not detections:
             return
         if self._active:
-            det_boxes = np.stack([d.box.as_array() for d in detections])
-            track_boxes = np.stack([t.last_box.as_array() for t in self._active])
+            det_boxes = np.array(
+                [(d.box.x1, d.box.y1, d.box.x2, d.box.y2) for d in detections]
+            )
+            track_boxes = np.array(
+                [
+                    (b.x1, b.y1, b.x2, b.y2)
+                    for b in (t.last_box for t in self._active)
+                ]
+            )
             iou = iou_matrix(det_boxes, track_boxes)
-            for di, det in enumerate(detections):
-                for ti, track in enumerate(self._active):
-                    if track.class_name != det.class_name:
-                        iou[di, ti] = 0.0
+            # Class must agree as well as geometry: one broadcast
+            # comparison instead of the per-pair Python double loop.
+            det_cls = np.array([d.class_name for d in detections], dtype=object)
+            track_cls = np.array(
+                [t.class_name for t in self._active], dtype=object
+            )
+            iou[det_cls[:, None] != track_cls[None, :]] = 0.0
             pairs = greedy_match(iou, self.iou_threshold)
         else:
             pairs = []

@@ -37,6 +37,16 @@ def _digest_keys(seed: int, keys: Iterable[object]) -> int:
     return int.from_bytes(hasher.digest(), "little")
 
 
+def digest_keys(seed: int, *keys: object) -> int:
+    """Public alias of the key-digest used by every stream in the library.
+
+    Returns the 128-bit integer that seeds the stream for ``(seed, keys)``;
+    useful for computing a *base* digest once and deriving many related
+    streams cheaply via :meth:`TransientRng.seeded_offset`.
+    """
+    return _digest_keys(seed, keys)
+
+
 def spawn_rng(seed: int, *keys: object) -> np.random.Generator:
     """Return a generator deterministically derived from ``seed`` and ``keys``.
 
@@ -75,15 +85,37 @@ class TransientRng:
         self._bitgen = np.random.Philox(0)
         self._gen = np.random.Generator(self._bitgen)
         self._state = self._bitgen.state
+        # Reused buffers: _rekey runs per frame on hot paths, so the key
+        # and counter arrays are written in place instead of reallocated.
+        self._key_buf = np.empty(2, dtype=np.uint64)
+        self._counter_buf = np.zeros(4, dtype=np.uint64)
 
     def seeded(self, seed: int, *keys: object) -> np.random.Generator:
         """Re-key the shared generator for ``(seed, keys)`` and return it."""
-        digest = _digest_keys(seed, keys)
+        return self._rekey(_digest_keys(seed, keys))
+
+    def seeded_offset(self, digest: int, offset: int) -> np.random.Generator:
+        """Re-key from a precomputed base ``digest`` plus an integer offset.
+
+        The Philox key becomes ``(digest_lo + offset, digest_hi)``: Philox
+        is a PRF over its key, so distinct offsets yield independent
+        streams, and the blake2b digest — the expensive part of
+        :meth:`seeded` — is paid once per base instead of once per stream.
+        This is how the detector keys its per-frame streams: one digest per
+        ``(seed, video)``, one offset per frame. Equivalent in guarantees
+        to ``seeded(seed, *base_keys, offset)`` but a different stream for
+        the same logical keys, so switching a component between the two
+        idioms changes its outputs for a given seed.
+        """
+        return self._rekey(digest + offset)
+
+    def _rekey(self, digest: int) -> np.random.Generator:
+        key = self._key_buf
+        key[0] = digest & self._KEY_MASK
+        key[1] = (digest >> 64) & self._KEY_MASK
         state = self._state
-        state["state"]["key"] = np.array(
-            [digest & self._KEY_MASK, digest >> 64], dtype=np.uint64
-        )
-        state["state"]["counter"] = np.zeros(4, dtype=np.uint64)
+        state["state"]["key"] = key
+        state["state"]["counter"] = self._counter_buf
         state["buffer_pos"] = 4
         state["has_uint32"] = 0
         state["uinteger"] = 0

@@ -9,12 +9,13 @@ import numpy as np
 from repro.errors import DatasetError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BoundingBox:
     """An axis-aligned box in pixel coordinates, ``(x1, y1)`` top-left.
 
     Boxes are half-open in spirit but compared with real-valued IoU, so the
-    only structural requirement is ``x2 >= x1`` and ``y2 >= y1``.
+    only structural requirement is ``x2 >= x1`` and ``y2 >= y1``. Slotted:
+    the detector and tracker construct these by the thousand.
     """
 
     x1: float

@@ -36,6 +36,11 @@ from repro.video.video import VideoRepository
 
 _Z_95 = 1.959963984540054
 
+#: Largest frames × instances product resolved via one broadcast interval
+#: test in :meth:`SyntheticWorld.visible_uids_batch`; bigger products walk
+#: the per-frame index instead to bound memory.
+_VISIBILITY_MASK_BUDGET = 4_000_000
+
 
 @dataclass(frozen=True)
 class ObjectInstance:
@@ -135,12 +140,31 @@ class ClassSpec:
             raise DatasetError(f"unknown skew process {self.skew[0]!r}")
 
 
+@dataclass(frozen=True)
+class InstanceArrays:
+    """Columnar instance data, each array indexed by uid.
+
+    ``entry``/``exit`` are (N, 4) xyxy boxes; ``class_codes`` index into
+    ``class_names`` (the sorted class list, matching
+    :meth:`SyntheticWorld.class_names`).
+    """
+
+    starts: np.ndarray
+    ends: np.ndarray
+    durations: np.ndarray
+    entry: np.ndarray
+    exit: np.ndarray
+    class_codes: np.ndarray
+    class_names: Tuple[str, ...]
+
+
 class SyntheticWorld:
     """All ground-truth instances of a repository, indexed for fast lookup."""
 
     def __init__(self, repository: VideoRepository, instances: List[ObjectInstance]):
         self.repository = repository
         self.instances = instances
+        self._arrays: "InstanceArrays | None" = None
         self._by_class: Dict[str, List[int]] = {}
         for idx, inst in enumerate(instances):
             if idx != inst.uid:
@@ -177,13 +201,110 @@ class SyntheticWorld:
 
     def visible(self, video: int, frame: int) -> List[ObjectInstance]:
         """Instances (any class) visible at (video, frame)."""
+        return [self.instances[int(i)] for i in self.visible_uids(video, frame)]
+
+    def visible_uids(self, video: int, frame: int) -> np.ndarray:
+        """Uids of instances visible at (video, frame), as an int64 array.
+
+        The array-returning variant of :meth:`visible`: hot paths (the
+        vectorised detector) consume uids directly against
+        :meth:`instance_arrays` without materialising instance objects.
+        """
         index = self._video_index.get(video)
         if index is None:
-            return []
+            return np.empty(0, dtype=np.int64)
         starts, ends, ids = index
         hi = np.searchsorted(starts, frame, side="right")
         active = ends[:hi] > frame
-        return [self.instances[int(i)] for i in ids[:hi][active]]
+        return ids[:hi][active]
+
+    def visible_uids_batch(
+        self, video: int, frames: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Visibility for many frames of one video in one query.
+
+        Returns ``(uids_flat, counts)``: the concatenation of
+        ``visible_uids(video, f)`` over ``frames`` (order preserved) and
+        the per-frame counts. Small workloads resolve through one
+        broadcast interval test; large ``frames × instances`` products
+        fall back to the per-frame index walk to bound memory.
+        """
+        frames = np.asarray(frames, dtype=np.int64)
+        index = self._video_index.get(video)
+        if index is None or frames.size == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.zeros(frames.size, dtype=np.int64),
+            )
+        starts, ends, ids = index
+        if frames.size * starts.size <= _VISIBILITY_MASK_BUDGET:
+            mask = (starts[None, :] <= frames[:, None]) & (
+                frames[:, None] < ends[None, :]
+            )
+            rows, cols = np.nonzero(mask)
+            counts = np.bincount(rows, minlength=frames.size)
+            return ids[cols], counts
+        parts = [self.visible_uids(video, int(f)) for f in frames]
+        counts = np.fromiter(
+            (p.size for p in parts), dtype=np.int64, count=len(parts)
+        )
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), counts
+        return np.concatenate([p for p in parts if p.size]), counts
+
+    def instance_arrays(self) -> "InstanceArrays":
+        """Columnar view of every instance, indexed by uid (cached).
+
+        Enables whole-frame vectorised operations — ground-truth boxes via
+        one interpolation expression instead of per-instance
+        :meth:`ObjectInstance.box_at` calls — for the detector and the
+        discriminator's track matching.
+        """
+        arrays = self._arrays
+        if arrays is None:
+            instances = self.instances
+            n = len(instances)
+            entry = np.empty((n, 4), dtype=float)
+            exit_ = np.empty((n, 4), dtype=float)
+            starts = np.empty(n, dtype=np.int64)
+            ends = np.empty(n, dtype=np.int64)
+            class_names = self.class_names()
+            class_code = {name: i for i, name in enumerate(class_names)}
+            codes = np.empty(n, dtype=np.int64)
+            for i, inst in enumerate(instances):
+                entry[i] = inst.entry_box.as_array()
+                exit_[i] = inst.exit_box.as_array()
+                starts[i] = inst.start
+                ends[i] = inst.end
+                codes[i] = class_code[inst.class_name]
+            durations = ends - starts
+            arrays = InstanceArrays(
+                starts=starts,
+                ends=ends,
+                durations=durations,
+                entry=entry,
+                exit=exit_,
+                class_codes=codes,
+                class_names=tuple(class_names),
+            )
+            self._arrays = arrays
+        return arrays
+
+    def boxes_at(self, uids: np.ndarray, frame) -> np.ndarray:
+        """Ground-truth boxes (len(uids), 4) at ``frame``, vectorised.
+
+        Equivalent to stacking ``instances[uid].box_at(frame)`` per uid:
+        linear interpolation between the entry and exit box, with
+        single-frame instances pinned at their entry box. ``frame`` may be
+        a scalar or an array aligned with ``uids`` (one frame per uid).
+        """
+        arrays = self.instance_arrays()
+        starts = arrays.starts[uids]
+        denom = np.maximum(arrays.durations[uids] - 1, 1)
+        t = np.clip((frame - starts) / denom, 0.0, 1.0)
+        entry = arrays.entry[uids]
+        return entry + (arrays.exit[uids] - entry) * t[:, None]
 
     def presence_mask(self, class_name: str) -> np.ndarray:
         """Boolean mask over global frames: is any instance of the class

@@ -1,0 +1,128 @@
+"""Regression tests for trace counters and curve vectorisation.
+
+Covers two satellite fixes:
+
+* ``SearchTrace.results_at_samples`` was a Python loop over the grid; the
+  vectorised version must agree with the loop semantics exactly.
+* ``_TraceBuilder.num_results`` fell back to ``len(results)`` whenever any
+  payload existed, undercounting in environments that attach payloads to
+  only *some* frames; d0 totals are authoritative.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.environment import CallbackEnvironment, Observation
+from repro.core.sampler import SearchTrace, Searcher, _TraceBuilder
+
+
+def _make_trace(d0s):
+    n = len(d0s)
+    return SearchTrace(
+        chunks=np.zeros(n, dtype=np.int64),
+        frames=np.arange(n, dtype=np.int64),
+        d0s=np.asarray(d0s, dtype=np.int64),
+        d1s=np.zeros(n, dtype=np.int64),
+        costs=np.ones(n, dtype=float),
+    )
+
+
+def _results_at_samples_loop(trace, grid):
+    """The historical reference implementation (pre-vectorisation)."""
+    curve = trace.discovery_curve()
+    grid_arr = np.asarray(grid, dtype=np.int64)
+    out = np.zeros(grid_arr.shape, dtype=float)
+    for i, g in enumerate(grid_arr):
+        if g <= 0 or curve.size == 0:
+            out[i] = 0.0
+        else:
+            out[i] = curve[min(g, curve.size) - 1]
+    return out
+
+
+class TestResultsAtSamplesVectorised:
+    @given(
+        d0s=st.lists(st.integers(min_value=0, max_value=3), max_size=60),
+        grid=st.lists(st.integers(min_value=-5, max_value=120), max_size=40),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_loop_reference(self, d0s, grid):
+        trace = _make_trace(d0s)
+        got = trace.results_at_samples(grid)
+        want = _results_at_samples_loop(trace, grid)
+        assert np.array_equal(got, want)
+
+    def test_saturates_past_the_end(self):
+        trace = _make_trace([1, 0, 2, 0])
+        out = trace.results_at_samples([1, 2, 3, 4, 100])
+        assert out.tolist() == [1.0, 1.0, 3.0, 3.0, 3.0]
+
+    def test_empty_trace_and_nonpositive_grid(self):
+        assert _make_trace([]).results_at_samples([0, 1, 5]).tolist() == [0, 0, 0]
+        assert _make_trace([2]).results_at_samples([-1, 0]).tolist() == [0, 0]
+
+
+class TestNumResultsMixedPayloads:
+    def test_builder_counts_d0_totals(self):
+        builder = _TraceBuilder("test")
+        builder.record(0, 0, Observation(d0=1, d1=0, results=["payload"], cost=1.0))
+        builder.record(0, 1, Observation(d0=1, d1=0, results=[], cost=1.0))
+        builder.record(0, 2, Observation(d0=2, d1=0, results=["only-one"], cost=1.0))
+        # 4 discoveries; only 2 carried payloads. d0 is authoritative.
+        assert builder.num_results == 4
+        assert builder.build().num_results == 4
+
+    def test_run_stops_on_result_limit_without_payloads(self):
+        """A payload-less environment must still trip result_limit."""
+
+        def observe(chunk, frame):
+            # One new object per frame, never a payload.
+            return Observation(d0=1, d1=0, results=[], cost=1.0)
+
+        env = CallbackEnvironment([100], observe)
+
+        class OneByOne(Searcher):
+            name = "one-by-one"
+
+            def __init__(self, env):
+                super().__init__(env)
+                self._next = 0
+
+            def pick_batch(self):
+                if self._next >= 100:
+                    return []
+                self._next += 1
+                return [(0, self._next - 1)]
+
+        trace = OneByOne(env).run(result_limit=7)
+        assert trace.num_samples == 7
+        assert trace.num_results == 7
+
+    def test_run_stops_with_mixed_payload_frames(self):
+        """Alternating payload/no-payload frames stop at the d0 count."""
+
+        def observe(chunk, frame):
+            payload = ["obj"] if frame % 2 == 0 else []
+            return Observation(d0=1, d1=0, results=payload, cost=1.0)
+
+        env = CallbackEnvironment([100], observe)
+
+        class OneByOne(Searcher):
+            name = "one-by-one"
+
+            def __init__(self, env):
+                super().__init__(env)
+                self._next = 0
+
+            def pick_batch(self):
+                if self._next >= 100:
+                    return []
+                self._next += 1
+                return [(0, self._next - 1)]
+
+        trace = OneByOne(env).run(result_limit=6)
+        # Historically this ran to 11 samples (len(results) counted only
+        # the even frames); d0 accounting stops at exactly 6.
+        assert trace.num_samples == 6
+        assert trace.num_results == 6

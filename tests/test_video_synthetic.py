@@ -13,6 +13,8 @@ from repro.video.synthetic import (
 from repro.video.geometry import BoundingBox
 from repro.video.video import Video, VideoRepository
 
+from tests.conftest import make_tiny_dataset
+
 
 @pytest.fixture
 def repo():
@@ -168,3 +170,56 @@ class TestWorldQueries:
         )
         with pytest.raises(DatasetError):
             SyntheticWorld(repo, [inst])
+
+
+class TestVectorisedVisibility:
+    """visible_uids / visible_uids_batch / boxes_at agree with the objects."""
+
+    def test_visible_uids_matches_visible(self):
+        dataset = make_tiny_dataset(seed=21)
+        world = dataset.world
+        for video in (0, 1):
+            for frame in range(0, 1200, 17):
+                uids = world.visible_uids(video, frame).tolist()
+                assert uids == [i.uid for i in world.visible(video, frame)]
+
+    def test_batch_agrees_on_both_paths(self, monkeypatch):
+        from repro.video import synthetic as synthetic_mod
+
+        dataset = make_tiny_dataset(seed=21)
+        world = dataset.world
+        frames = np.arange(0, 1200, 13)
+        want_flat = []
+        want_counts = []
+        for frame in frames:
+            uids = world.visible_uids(0, int(frame))
+            want_flat.extend(uids.tolist())
+            want_counts.append(uids.size)
+        for budget in (4_000_000, 0):  # broadcast mask path, then fallback
+            monkeypatch.setattr(
+                synthetic_mod, "_VISIBILITY_MASK_BUDGET", budget
+            )
+            got_flat, got_counts = world.visible_uids_batch(0, frames)
+            assert got_flat.tolist() == want_flat
+            assert got_counts.tolist() == want_counts
+
+    def test_batch_empty_and_unknown_video(self):
+        dataset = make_tiny_dataset(seed=21)
+        world = dataset.world
+        flat, counts = world.visible_uids_batch(99, np.array([1, 2, 3]))
+        assert flat.size == 0 and counts.tolist() == [0, 0, 0]
+        flat, counts = world.visible_uids_batch(0, np.array([], dtype=np.int64))
+        assert flat.size == 0 and counts.size == 0
+
+    def test_boxes_at_matches_box_at(self):
+        dataset = make_tiny_dataset(seed=21)
+        world = dataset.world
+        for frame in range(0, 1200, 29):
+            uids = world.visible_uids(0, frame)
+            if not uids.size:
+                continue
+            got = world.boxes_at(uids, frame)
+            want = np.stack(
+                [world.instances[int(u)].box_at(frame).as_array() for u in uids]
+            )
+            assert np.allclose(got, want)
