@@ -90,7 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="print each distinct result the moment it is found",
     )
     query.add_argument(
-        "--cache", default="unbounded", choices=("unbounded", "lru", "off"),
+        "--cache", default="unbounded",
+        choices=("unbounded", "lru", "off", "shared"),
         help="detection memoization policy (results are unaffected)",
     )
 
@@ -103,13 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--scale", type=float, default=0.05)
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument(
-        "--cache", default="unbounded", choices=("unbounded", "lru", "off"),
+        "--cache", default="unbounded",
+        choices=("unbounded", "lru", "off", "shared"),
         help="detection memoization policy (results are unaffected)",
     )
     compare.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes for the method sweep (default: REPRO_JOBS or 1)",
     )
+    _add_shared_flags(compare)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table or figure"
@@ -124,6 +127,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for independent runs/cells "
              "(default: REPRO_JOBS or 1; results are identical to serial)",
     )
+    experiment.add_argument(
+        "--cache", default=None,
+        choices=("unbounded", "lru", "off", "shared"),
+        help="detection-cache policy for worker-built engines "
+             "(sets REPRO_CACHE; results are unaffected)",
+    )
+    _add_shared_flags(experiment)
 
     ablation = sub.add_parser("ablation", help="run one design-choice ablation")
     ablation.add_argument("name", choices=sorted(_ABLATIONS))
@@ -131,8 +141,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes for independent runs (default: REPRO_JOBS or 1)",
     )
+    ablation.add_argument(
+        "--cache", default=None,
+        choices=("unbounded", "lru", "off", "shared"),
+        help="detection-cache policy for worker-built engines "
+             "(sets REPRO_CACHE; results are unaffected)",
+    )
+    _add_shared_flags(ablation)
 
     return parser
+
+
+def _add_shared_flags(subparser) -> None:
+    subparser.add_argument(
+        "--shared-world", action="store_true",
+        help="ship synthetic worlds to workers via POSIX shared memory "
+             "(one published copy, zero-copy attach) instead of "
+             "re-pickling them per task; results are unaffected",
+    )
+    subparser.add_argument(
+        "--shared-cache", action="store_true",
+        help="share one detection memo across all worker processes "
+             "(shorthand for --cache shared); results are unaffected",
+    )
 
 
 def _cmd_list_datasets(out) -> int:
@@ -234,8 +265,10 @@ def _stream_query(engine, query, args, out) -> int:
 
 
 def _cmd_compare(args, out) -> int:
+    _apply_parallel_env(args)
+    cache = "shared" if args.shared_cache else args.cache
     dataset = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    engine = QueryEngine(dataset, seed=args.seed, detection_cache=args.cache)
+    engine = QueryEngine(dataset, seed=args.seed, detection_cache=cache)
     query = DistinctObjectQuery(
         args.object_class,
         recall_target=args.recall,
@@ -260,26 +293,34 @@ def _cmd_compare(args, out) -> int:
         file=out,
     )
     info = engine.cache_info()
-    if info is not None and info.requests:
+    if info is not None and (info.requests or info.size):
         # With --jobs the sweep runs in workers against engine copies; the
-        # local counters then only reflect this process's share.
+        # local counters then only reflect this process's share (a shared
+        # cache still shows the store size every worker filled).
         print(f"detection {info}", file=out)
     return 0
 
 
-def _apply_jobs(args) -> None:
-    """Propagate --jobs to the harnesses via REPRO_JOBS.
+def _apply_parallel_env(args) -> None:
+    """Propagate the parallel-execution flags to the harnesses via env.
 
-    The experiment modules resolve their worker count from the
-    environment (so nested code and benches see one knob); the CLI flag
-    simply sets it for this process.
+    The experiment modules resolve their worker count, shared-world
+    setting and cache policy from the environment (so nested code,
+    worker processes and benches see one set of knobs); the CLI flags
+    simply set them for this process — worker pools inherit them.
     """
     if getattr(args, "jobs", None) is not None:
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if getattr(args, "shared_world", False):
+        os.environ["REPRO_SHARED_WORLD"] = "1"
+    if getattr(args, "shared_cache", False):
+        os.environ["REPRO_CACHE"] = "shared"
+    elif getattr(args, "cache", None) and args.command in ("experiment", "ablation"):
+        os.environ["REPRO_CACHE"] = args.cache
 
 
 def _cmd_experiment(args, out) -> int:
-    _apply_jobs(args)
+    _apply_parallel_env(args)
     if args.name == "all":
         from repro.experiments.report import generate_report, render_report
 
@@ -293,7 +334,7 @@ def _cmd_experiment(args, out) -> int:
 
 
 def _cmd_ablation(args, out) -> int:
-    _apply_jobs(args)
+    _apply_parallel_env(args)
     fn = _ABLATIONS[args.name]
     config = default_config(ablations_mod.AblationConfig)
     result = fn(config)

@@ -39,8 +39,8 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import ConfigError
 
-#: Cache key: (video, frame, class_filter-or-None).
-CacheKey = Tuple[int, int, Optional[str]]
+#: Cache key: (detector scope, video, frame, class_filter-or-None).
+CacheKey = Tuple[str, int, int, Optional[str]]
 
 #: What ``QueryEngine(detection_cache=...)`` and the CLI accept.
 CacheSpec = Union[str, "DetectionCache", None]
@@ -83,6 +83,16 @@ class DetectionCache:
     capacity:
         Maximum entries for the LRU policy (ignored when unbounded).
     """
+
+    #: Whether keys must be namespaced by the detector's identity (its
+    #: :meth:`~repro.detection.simulated.SimulatedDetector.cache_scope`,
+    #: a digest of seed, noise profile and world content). Nothing stops
+    #: one cache instance from serving several detectors — two engines
+    #: handed the same cache, or the cross-process shared cache of a
+    #: multi-dataset sweep — and un-scoped ``(video, frame, class)``
+    #: keys would then collide across worlds, so every cache demands
+    #: scoping; the prefix is a one-time digest per detector.
+    scoped = True
 
     def __init__(self, policy: str = "unbounded", capacity: int = 65536):
         if policy not in ("unbounded", "lru"):
@@ -172,15 +182,21 @@ def make_detection_cache(
     """Resolve a user-facing cache spec to a cache object (or None).
 
     ``spec`` may be ``None`` / ``"off"`` (no cache), ``"unbounded"``,
-    ``"lru"``, or an existing :class:`DetectionCache` (returned as-is).
+    ``"lru"``, ``"shared"`` (one cross-process memo for a worker pool —
+    this process's :func:`repro.parallel.shm.shared_detection_cache`),
+    or an existing cache instance (returned as-is).
     """
     if spec is None or spec == "off":
         return None
     if isinstance(spec, DetectionCache):
         return spec
+    if spec == "shared":
+        from repro.parallel.shm import shared_detection_cache
+
+        return shared_detection_cache()
     if isinstance(spec, str):
         return DetectionCache(policy=spec, capacity=capacity)
     raise ConfigError(
-        f"detection_cache must be 'off', 'unbounded', 'lru' or a "
-        f"DetectionCache instance, got {type(spec).__name__}"
+        f"detection_cache must be 'off', 'unbounded', 'lru', 'shared' or "
+        f"a DetectionCache instance, got {type(spec).__name__}"
     )

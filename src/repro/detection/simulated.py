@@ -124,10 +124,34 @@ class SimulatedDetector:
         self.cache = cache
         self.frames_processed = 0
         self._class_names = world.class_names() or ["object"]
+        self._scope: Optional[str] = None
         # Per-frame streams are keyed on (seed, video, frame); the shared
         # TransientRng skips per-call generator construction, and the rng
         # never escapes _detect_frame, so sharing is safe.
         self._frame_rng = TransientRng()
+
+    def cache_scope(self) -> str:
+        """Stable identity of this detector's output function.
+
+        Detection output is fully determined by ``(seed, profile, world
+        content)``; the scope digests exactly those, so two detectors
+        share a scope precisely when they would produce identical
+        detections for every frame. Caches serving several detectors
+        (``scoped = True``, e.g. the pool-wide shared cache of a
+        multi-dataset sweep) use it to namespace their keys.
+        """
+        scope = self._scope
+        if scope is None:
+            import hashlib
+
+            hasher = hashlib.blake2b(digest_size=16)
+            # The dataclass repr enumerates every profile field, so a
+            # future output-affecting field automatically changes the
+            # scope instead of silently aliasing old cache rows.
+            hasher.update(repr((self.seed, self.profile)).encode())
+            hasher.update(self.world.content_digest())
+            scope = self._scope = hasher.hexdigest()
+        return scope
 
     def detect(
         self,
@@ -145,7 +169,10 @@ class SimulatedDetector:
         cache = self.cache
         if cache is None:
             return self._detect_filtered(video, frame, class_filter)
-        key = (video, frame, class_filter)
+        if cache.scoped:
+            key = (self.cache_scope(), video, frame, class_filter)
+        else:
+            key = (video, frame, class_filter)
         hit = cache.get(key)
         if hit is not None:
             return hit
@@ -191,7 +218,10 @@ class SimulatedDetector:
             # One cache lookup — and at most one generation — per distinct
             # (video, frame): duplicate picks within the batch share the
             # generated result instead of re-generating (and re-counting a
-            # miss) per occurrence.
+            # miss) per occurrence. Scoped caches (shared across several
+            # detectors) namespace the stored key with this detector's
+            # identity; grouping below stays on the plain key.
+            scope = self.cache_scope() if cache.scoped else None
             pending: dict[tuple, List[int]] = {}
             for i, (video, frame) in enumerate(zip(videos, frames)):
                 key = (int(video), int(frame), class_filter)
@@ -199,7 +229,7 @@ class SimulatedDetector:
                 if indices is not None:
                     indices.append(i)
                     continue
-                hit = cache.get(key)
+                hit = cache.get(key if scope is None else (scope,) + key)
                 if hit is None:
                     pending[key] = [i]
                 else:
@@ -214,7 +244,7 @@ class SimulatedDetector:
                         detections = [
                             d for d in detections if d.class_name == class_filter
                         ]
-                    cache.put(key, detections)
+                    cache.put(key if scope is None else (scope,) + key, detections)
                     indices = pending[key]
                     out[indices[0]] = detections
                     for extra in indices[1:]:

@@ -16,36 +16,64 @@ map over picklable tasks built on :class:`concurrent.futures
 * the effective job count is 1 (the default — set ``REPRO_JOBS`` or pass
   ``jobs=``/``--jobs`` to opt in),
 * there is at most one task,
-* the callable does not pickle (e.g. a locally defined closure), or
+* the callable does not pickle (e.g. a locally defined closure) — the
+  fallback emits a ``RuntimeWarning`` naming the pickling failure, or
 * it is already running inside a worker (no nested pools).
 
 Workers mark themselves via the ``REPRO_IN_WORKER`` environment variable,
 so nested ``parallel_map`` calls (a parallelised experiment whose cells
-call ``repeated_traces``) stay serial instead of oversubscribing.
+call ``repeated_traces``) stay serial instead of oversubscribing. The
+pool's start method follows the platform default; pass ``context=`` (or
+set ``REPRO_MP_CONTEXT``) to force ``"spawn"``/``"fork"``/
+``"forkserver"`` explicitly.
+
+Two shared-memory levers (see :mod:`repro.parallel.shm`) hang off the
+pool lifecycle, both opt-in and both result-invariant:
+
+* ``shared_world=True`` (or ``REPRO_SHARED_WORLD=1``, CLI
+  ``--shared-world``) publishes every
+  :class:`~repro.video.synthetic.SyntheticWorld` reachable from the
+  callable and its first task (where every harness in this library
+  carries its engine) into named shared-memory segments for the
+  duration of the pool:
+  tasks then carry ~100-byte handles instead of re-pickled worlds, and
+  workers attach zero-copy views once per process. ``parallel_map``
+  owns the segments — they are unlinked when the pool exits, normally
+  or through a worker crash.
+* ``--cache shared`` / ``REPRO_CACHE=shared`` routes every engine —
+  parent-built and worker-built alike — onto one
+  :class:`~repro.parallel.shm.SharedDetectionCache`, so a frame any
+  process detected is a cache hit for all of them. ``parallel_map``
+  hands the parent's cache to workers through the pool initializer.
 
 Worker processes rebuild datasets/engines on demand through
-:func:`dataset_engine`, a process-local memo — on fork-based platforms a
-parent that already built the engine shares it with every worker for free,
-and within one worker the engine's detection cache accumulates across that
-worker's tasks exactly as it does serially.
+:func:`dataset_engine`, a bounded process-local memo that honors the
+caller's detection-cache policy — on fork-based platforms a parent that
+already built the engine shares it with every worker for free.
 """
 
 from __future__ import annotations
 
+import io
+import multiprocessing
 import os
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from functools import lru_cache, partial
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.sampler import SearchTrace
 from repro.errors import ConfigError
+from repro.video.synthetic import SyntheticWorld
 
 __all__ = [
+    "clear_dataset_engines",
     "dataset_engine",
     "parallel_map",
     "parallel_sweep_methods",
     "parallel_traces",
+    "resolve_context",
     "resolve_jobs",
 ]
 
@@ -72,20 +100,100 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
-def _init_worker() -> None:
-    os.environ["REPRO_IN_WORKER"] = "1"
+def resolve_context(context: Optional[str] = None):
+    """Worker start method: ``context`` if given, else ``REPRO_MP_CONTEXT``.
 
-
-def _is_picklable(obj: object) -> bool:
+    Returns a ``multiprocessing`` context object, or None for the
+    platform default start method.
+    """
+    if context is None:
+        context = os.environ.get("REPRO_MP_CONTEXT", "").strip() or None
+    if context is None:
+        return None
     try:
-        pickle.dumps(obj)
-        return True
-    except Exception:
-        return False
+        return multiprocessing.get_context(context)
+    except ValueError as exc:
+        raise ConfigError(
+            f"unknown multiprocessing start method {context!r} "
+            f"(expected one of {multiprocessing.get_all_start_methods()})"
+        ) from exc
+
+
+def _shared_world_enabled(shared_world: Optional[bool]) -> bool:
+    if shared_world is not None:
+        return bool(shared_world)
+    return os.environ.get("REPRO_SHARED_WORLD", "").strip() == "1"
+
+
+def _shared_cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "").strip() == "shared"
+
+
+def _init_worker(shared_cache=None) -> None:
+    os.environ["REPRO_IN_WORKER"] = "1"
+    if shared_cache is not None:
+        # Engines built inside this worker (dataset_engine with the
+        # "shared" policy) must join the parent's memo, not start their
+        # own manager.
+        os.environ["REPRO_CACHE"] = "shared"
+        from repro.parallel.shm import adopt_shared_cache
+
+        adopt_shared_cache(shared_cache)
+
+
+class _TaskScanner(pickle.Pickler):
+    """A pickling probe that records every world the pickle stream visits.
+
+    One dry-run dump answers both pre-flight questions: *does the task
+    pickle at all* (the serial-fallback check) and *which synthetic
+    worlds would it ship* (the candidates for shared-memory publication).
+    Worlds themselves are recorded and then stubbed out of the probe —
+    they always pickle (by value or as a shared handle), so serializing
+    their megabytes into a discarded buffer would be pure waste.
+    """
+
+    def __init__(self, buffer):
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self.worlds: List[SyntheticWorld] = []
+
+    def reducer_override(self, obj):
+        if isinstance(obj, SyntheticWorld):
+            if not any(obj is seen for seen in self.worlds):
+                self.worlds.append(obj)
+            return (int, ())
+        return NotImplemented
+
+
+def _probe_task(
+    fn: Callable, item
+) -> Tuple[Optional[List[SyntheticWorld]], Optional[BaseException]]:
+    """Pickle ``fn`` with one representative item, once.
+
+    Returns ``(worlds, None)`` on success or ``(None, error)`` when the
+    task does not pickle. Probing one item instead of the whole task
+    list keeps pre-flight peak memory at one task's worth — the full
+    list is serialized exactly once, at submit time. The trade-offs are
+    deliberate: an item past index 0 that uniquely fails to pickle
+    surfaces as a submit-time error instead of a silent serial
+    fallback, and worlds reachable only through later items are not
+    published (no caller shapes tasks that way — engines ride in ``fn``
+    or uniformly in every item).
+    """
+    scanner = _TaskScanner(io.BytesIO())
+    try:
+        scanner.dump((fn, item))
+    except Exception as exc:
+        return None, exc
+    return scanner.worlds, None
 
 
 def parallel_map(
-    fn: Callable, items: Iterable, *, jobs: Optional[int] = None
+    fn: Callable,
+    items: Iterable,
+    *,
+    jobs: Optional[int] = None,
+    context: Optional[str] = None,
+    shared_world: Optional[bool] = None,
 ) -> List:
     """Order-stable map over ``items``, process-parallel when possible.
 
@@ -93,17 +201,53 @@ def parallel_map(
     deterministic ``fn`` the output is element-wise identical to
     ``[fn(item) for item in items]``. Falls back to exactly that serial
     loop when parallelism is off, unavailable, or ``fn`` cannot be
-    pickled; a worker exception propagates to the caller either way.
+    pickled (with a ``RuntimeWarning`` naming what failed); a worker
+    exception propagates to the caller either way.
+
+    ``context`` picks the worker start method (default: platform's);
+    ``shared_world`` ships synthetic worlds over shared memory instead
+    of re-pickling them per task (default: the ``REPRO_SHARED_WORLD``
+    environment variable). The pool owns any segments it publishes:
+    they are unlinked on normal completion, on error, and on worker
+    crash alike.
     """
     items = list(items)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(items) <= 1 or not _is_picklable((fn, items)):
+    if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(items)), initializer=_init_worker
-    ) as pool:
-        futures = [pool.submit(fn, item) for item in items]
-        return [future.result() for future in futures]
+    worlds, pickle_error = _probe_task(fn, items[0])
+    if pickle_error is not None:
+        warnings.warn(
+            f"parallel_map: running {len(items)} tasks serially because "
+            f"the task does not pickle: {pickle_error!r} (fn={fn!r})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(item) for item in items]
+    initargs = ()
+    if _shared_cache_enabled():
+        # Before publishing any world: if the manager fails to start,
+        # nothing is published yet and nothing needs unwinding.
+        from repro.parallel.shm import shared_detection_cache
+
+        initargs = (shared_detection_cache(),)
+    stores = []
+    if _shared_world_enabled(shared_world) and worlds:
+        from repro.parallel.shm import publish_worlds
+
+        stores = publish_worlds(worlds)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(items)),
+            initializer=_init_worker,
+            initargs=initargs,
+            mp_context=resolve_context(context),
+        ) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            return [future.result() for future in futures]
+    finally:
+        for store in stores:
+            store.close()
 
 
 # -- repeated searcher runs --------------------------------------------------
@@ -118,6 +262,8 @@ def parallel_traces(
     runs: int,
     *,
     jobs: Optional[int] = None,
+    context: Optional[str] = None,
+    shared_world: Optional[bool] = None,
     frame_budget: Optional[int] = None,
     result_limit: Optional[int] = None,
     distinct_real_limit: Optional[int] = None,
@@ -129,7 +275,8 @@ def parallel_traces(
     module already follows); it must be picklable — a ``functools.partial``
     over a module-level function — for the parallel path to engage.
     Results are gathered in run order, element-wise identical to the
-    serial loop.
+    serial loop. ``context``/``shared_world`` pass through to
+    :func:`parallel_map`.
     """
     limits = dict(
         frame_budget=frame_budget,
@@ -137,7 +284,11 @@ def parallel_traces(
         distinct_real_limit=distinct_real_limit,
     )
     return parallel_map(
-        partial(_run_one_trace, make_searcher, limits), range(runs), jobs=jobs
+        partial(_run_one_trace, make_searcher, limits),
+        range(runs),
+        jobs=jobs,
+        context=context,
+        shared_world=shared_world,
     )
 
 
@@ -169,14 +320,18 @@ def parallel_sweep_methods(
     methods: Optional[Sequence[str]] = None,
     run_seed: int = 0,
     jobs: Optional[int] = None,
+    context: Optional[str] = None,
+    shared_world: Optional[bool] = None,
     **searcher_kwargs,
 ) -> Dict[str, object]:
     """Run one query under every method; returns {method: outcome}.
 
     The parallel counterpart of :func:`repro.experiments.runner
     .sweep_methods` (which delegates here): each method runs in its own
-    worker against a pickled copy of the engine. Outcomes are identical to
-    the serial sweep — every run derives only from ``(engine seed, method,
+    worker against a pickled copy of the engine — with ``shared_world``
+    the engine's world travels as a shared-memory handle instead of
+    being re-pickled per method. Outcomes are identical to the serial
+    sweep — every run derives only from ``(engine seed, method,
     run_seed)`` — and arrive in method order. Third-party methods travel
     as their :class:`~repro.core.registry.SearcherSpec`, so workers on
     spawn-start platforms re-import/re-register them; a plug-in whose
@@ -190,6 +345,8 @@ def parallel_sweep_methods(
         partial(_run_one_method, engine, query, run_seed, searcher_kwargs),
         tasks,
         jobs=jobs,
+        context=context,
+        shared_world=shared_world,
     )
     return dict(zip(chosen, outcomes))
 
@@ -197,18 +354,49 @@ def parallel_sweep_methods(
 # -- process-local dataset/engine memo ---------------------------------------
 
 
-@lru_cache(maxsize=None)
-def dataset_engine(name: str, scale: float, seed: int):
+#: Distinct (dataset, engine) pairs kept alive per process. Figure
+#: harnesses sweep at most the six evaluation datasets at one scale, so a
+#: handful of slots covers every real workload while a long multi-dataset
+#: sweep can no longer pin one unbounded detection cache per pair forever.
+_ENGINE_MEMO_SLOTS = 8
+
+
+def dataset_engine(name: str, scale: float, seed: int, cache: Optional[str] = None):
     """A process-local ``(dataset, engine)`` for the given parameters.
 
     Workers use this to amortise dataset construction across their tasks;
     on fork-based platforms (Linux) a parent that called it before fanning
     out shares the built objects with every worker through copy-on-write
-    memory. The engine carries the default unbounded detection cache, so
-    repeated tasks in one process also share detections.
+    memory.
+
+    ``cache`` is the engine's detection-cache policy (``"unbounded"``,
+    ``"lru"``, ``"off"``, ``"shared"``); when omitted it resolves from
+    the ``REPRO_CACHE`` environment variable — which the CLI sets from
+    ``--cache``/``--shared-cache`` and pool workers inherit — so the
+    user's policy reaches worker-built engines instead of silently
+    reverting to the default. The policy is part of the memo key: the
+    memo is bounded (:data:`_ENGINE_MEMO_SLOTS` entries, LRU) and
+    :func:`clear_dataset_engines` empties it on demand.
     """
+    if cache is None:
+        cache = os.environ.get("REPRO_CACHE", "").strip() or "unbounded"
+    return _dataset_engine(name, scale, seed, cache)
+
+
+@lru_cache(maxsize=_ENGINE_MEMO_SLOTS)
+def _dataset_engine(name: str, scale: float, seed: int, cache: str):
     from repro.query.engine import QueryEngine
     from repro.video.datasets import make_dataset
 
     dataset = make_dataset(name, scale=scale, seed=seed)
-    return dataset, QueryEngine(dataset, seed=seed)
+    return dataset, QueryEngine(dataset, seed=seed, detection_cache=cache)
+
+
+def clear_dataset_engines() -> None:
+    """Drop this process's ``(dataset, engine)`` memo.
+
+    Frees the datasets and their detection caches between sweeps (pool
+    teardown, long-lived services); the next :func:`dataset_engine` call
+    rebuilds from scratch.
+    """
+    _dataset_engine.cache_clear()

@@ -214,7 +214,9 @@ class QueryEngine:
     ``detection_cache`` configures result memoization on the engine's
     detector: ``"unbounded"`` (the default — detection is a pure function
     of ``(seed, video, frame)``, so every run over this engine pays
-    detection once per distinct frame), ``"lru"``, ``"off"``, or a
+    detection once per distinct frame), ``"lru"``, ``"off"``, ``"shared"``
+    (one cross-process memo joined by every worker of a parallel sweep —
+    see :class:`~repro.parallel.shm.SharedDetectionCache`), or a
     pre-built :class:`~repro.detection.DetectionCache` (e.g. an LRU with a
     custom capacity). Caching changes wall-clock time only, never a trace.
     When an explicit ``detector`` is passed, its own cache configuration is

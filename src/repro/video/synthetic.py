@@ -23,6 +23,7 @@ of instance durations (the ``p_i``) and instance placement across chunks
 
 from __future__ import annotations
 
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -32,7 +33,7 @@ from repro.errors import DatasetError
 from repro.theory.instances import lognormal_durations
 from repro.utils.rng import RngFactory
 from repro.video.geometry import BoundingBox, interpolate
-from repro.video.video import VideoRepository
+from repro.video.video import Video, VideoRepository
 
 _Z_95 = 1.959963984540054
 
@@ -158,14 +159,62 @@ class InstanceArrays:
     class_names: Tuple[str, ...]
 
 
+class _LazyInstances(SequenceABC):
+    """Read-only instance list over a shared world's columns.
+
+    Worlds attached from shared memory carry columns, not
+    :class:`ObjectInstance` objects; the few code paths that still want
+    objects (the discriminator materializes one per *new track*, the
+    theory bounds iterate a class) get them built on first access, per
+    uid, from the zero-copy columns — never as an up-front per-task
+    deserialization.
+    """
+
+    __slots__ = ("_world", "_cache")
+
+    def __init__(self, world: "SyntheticWorld"):
+        self._world = world
+        self._cache: Dict[int, ObjectInstance] = {}
+
+    def __len__(self) -> int:
+        return self._world.num_instances
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(index)
+        instance = self._cache.get(index)
+        if instance is None:
+            instance = self._cache[index] = self._world._instance_at(index)
+        return instance
+
+
 class SyntheticWorld:
-    """All ground-truth instances of a repository, indexed for fast lookup."""
+    """All ground-truth instances of a repository, indexed for fast lookup.
+
+    A world pickles two ways. Normally the instance list travels by
+    value, exactly as before. While published to a
+    :class:`~repro.parallel.shm.SharedWorldStore`, pickling emits only a
+    ~100-byte segment handle and the receiving process rebuilds the
+    world as zero-copy numpy views over the shared pages (see
+    :meth:`from_shared_columns`); results are identical either way —
+    every query resolves against the same column values.
+    """
 
     def __init__(self, repository: VideoRepository, instances: List[ObjectInstance]):
         self.repository = repository
-        self.instances = instances
+        self._instances: "List[ObjectInstance] | None" = instances
+        self._lazy: "_LazyInstances | None" = None
         self._arrays: "InstanceArrays | None" = None
-        self._by_class: Dict[str, List[int]] = {}
+        self._shared_handle = None
+        self._videos_col: "np.ndarray | None" = None
+        self._global_starts_col: "np.ndarray | None" = None
+        self._content_digest: "bytes | None" = None
+        self._by_class: "Dict[str, List[int]] | None" = {}
         for idx, inst in enumerate(instances):
             if idx != inst.uid:
                 raise DatasetError("instance uids must be dense and ordered")
@@ -185,19 +234,46 @@ class SyntheticWorld:
     # -- queries ---------------------------------------------------------
 
     @property
+    def instances(self) -> Sequence[ObjectInstance]:
+        """The instance list (lazily materialized for attached worlds)."""
+        if self._instances is not None:
+            return self._instances
+        if self._lazy is None:
+            self._lazy = _LazyInstances(self)
+        return self._lazy
+
+    @property
     def num_instances(self) -> int:
-        return len(self.instances)
+        if self._instances is None:
+            return int(self.instance_arrays().starts.size)
+        return len(self._instances)
 
     def class_names(self) -> List[str]:
+        if self._by_class is None:
+            # Attached worlds: the published list is already sorted.
+            return list(self.instance_arrays().class_names)
         return sorted(self._by_class)
 
+    def _class_index(self) -> Dict[str, List[int]]:
+        by_class = self._by_class
+        if by_class is None:
+            arrays = self.instance_arrays()
+            by_class = {}
+            for code, name in enumerate(arrays.class_names):
+                uids = np.nonzero(arrays.class_codes == code)[0]
+                if uids.size:
+                    by_class[name] = uids.tolist()
+            self._by_class = by_class
+        return by_class
+
     def instances_of(self, class_name: str) -> List[ObjectInstance]:
-        return [self.instances[i] for i in self._by_class.get(class_name, [])]
+        instances = self.instances
+        return [instances[i] for i in self._class_index().get(class_name, [])]
 
     def count_of(self, class_name: str) -> int:
         """Ground-truth distinct instance count for a class (the recall
         denominator of §V-A)."""
-        return len(self._by_class.get(class_name, []))
+        return len(self._class_index().get(class_name, []))
 
     def visible(self, video: int, frame: int) -> List[ObjectInstance]:
         """Instances (any class) visible at (video, frame)."""
@@ -340,6 +416,191 @@ class SyntheticWorld:
         overlap = np.clip(highs - lows, 0, None).astype(float)
         widths = (bounds[1:] - bounds[:-1]).astype(float)
         return overlap / widths[None, :]
+
+    # -- shared-memory transport ------------------------------------------
+
+    def __reduce_ex__(self, protocol):
+        """Pickle as a segment handle while published, by value otherwise.
+
+        :class:`~repro.parallel.shm.SharedWorldStore` sets
+        ``_shared_handle`` for the duration of a pool; every pickle in
+        that window (task submission to workers) costs ~100 bytes
+        instead of the full instance list, and unpickling attaches the
+        shared segment (memoized per process). Do not take durable
+        checkpoints of a *published* world — the handle dies with the
+        store; the normal by-value path resumes as soon as the store
+        closes.
+        """
+        handle = self._shared_handle
+        if handle is not None:
+            from repro.parallel.shm import attach_shared_world
+
+            return (attach_shared_world, (handle,))
+        return super().__reduce_ex__(protocol)
+
+    def __getstate__(self) -> dict:
+        """By-value pickling sheds derivable caches.
+
+        The ownership columns and lazily materialized instances are
+        rebuilt on demand; shipping them would double a checkpoint's
+        world payload for no information.
+        """
+        state = dict(self.__dict__)
+        state["_lazy"] = None
+        state["_arrays"] = None
+        state["_videos_col"] = None
+        state["_global_starts_col"] = None
+        return state
+
+    def shared_columns(self) -> Tuple[Dict[str, np.ndarray], dict]:
+        """Everything a worker needs to rebuild this world, as flat arrays.
+
+        Returns ``(columns, meta)``: named numpy arrays — the
+        :class:`InstanceArrays` columns, per-uid video/global-start
+        columns, and each video's sorted ``(starts, ends, ids)``
+        interval index — plus a small metadata dict (class names, video
+        metadata). :class:`~repro.parallel.shm.SharedWorldStore` copies
+        the arrays into a shared segment; :meth:`from_shared_columns`
+        reverses the split from zero-copy views.
+        """
+        arrays = self.instance_arrays()
+        videos_col, global_starts_col = self._ownership_columns()
+        columns: Dict[str, np.ndarray] = {
+            "starts": arrays.starts,
+            "ends": arrays.ends,
+            "durations": arrays.durations,
+            "entry": arrays.entry,
+            "exit": arrays.exit,
+            "class_codes": arrays.class_codes,
+            "videos": videos_col,
+            "global_starts": global_starts_col,
+        }
+        for video, (starts, ends, ids) in self._video_index.items():
+            columns[f"vidx/{video}/starts"] = starts
+            columns[f"vidx/{video}/ends"] = ends
+            columns[f"vidx/{video}/ids"] = ids
+        meta = {
+            "class_names": list(arrays.class_names),
+            "videos_meta": [
+                (v.name, v.num_frames, v.fps, v.width, v.height)
+                for v in self.repository.videos
+            ],
+            "video_ids": list(self._video_index),
+        }
+        return columns, meta
+
+    def content_digest(self) -> bytes:
+        """16-byte digest of everything detection output depends on.
+
+        Computed from the columnar state, so a world and its
+        shared-memory attachment digest identically, and two worlds
+        digest identically exactly when a detector over them produces
+        identical outputs. Cross-world caches (the pool-wide
+        :class:`~repro.parallel.shm.SharedDetectionCache`) use it to
+        namespace their keys.
+        """
+        digest = self._content_digest
+        if digest is None:
+            import hashlib
+
+            arrays = self.instance_arrays()
+            videos_col, _ = self._ownership_columns()
+            hasher = hashlib.blake2b(digest_size=16)
+            hasher.update(
+                repr(
+                    [
+                        (v.name, v.num_frames, v.fps, v.width, v.height)
+                        for v in self.repository.videos
+                    ]
+                ).encode()
+            )
+            hasher.update(repr(arrays.class_names).encode())
+            for column in (
+                arrays.starts,
+                arrays.ends,
+                arrays.class_codes,
+                arrays.entry,
+                arrays.exit,
+                videos_col,
+            ):
+                hasher.update(np.ascontiguousarray(column).tobytes())
+            digest = self._content_digest = hasher.digest()
+        return digest
+
+    def _ownership_columns(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-uid ``video`` and ``global_start`` columns."""
+        if self._videos_col is not None and self._global_starts_col is not None:
+            return self._videos_col, self._global_starts_col
+        instances = self.instances
+        n = len(instances)
+        videos = np.fromiter((i.video for i in instances), dtype=np.int64, count=n)
+        global_starts = np.fromiter(
+            (i.global_start for i in instances), dtype=np.int64, count=n
+        )
+        self._videos_col = videos
+        self._global_starts_col = global_starts
+        return videos, global_starts
+
+    @classmethod
+    def from_shared_columns(
+        cls, columns: Dict[str, np.ndarray], meta: dict, handle
+    ) -> "SyntheticWorld":
+        """Rebuild a world around (typically zero-copy) column views.
+
+        The inverse of :meth:`shared_columns`. The instance *objects*
+        are not rebuilt here — :attr:`instances` materializes them per
+        uid on demand — so attaching costs parsing a small header, not
+        deserializing the world.
+        """
+        world = cls.__new__(cls)
+        world.repository = VideoRepository(
+            [Video(*spec) for spec in meta["videos_meta"]]
+        )
+        world._instances = None
+        world._lazy = None
+        world._by_class = None
+        world._shared_handle = handle
+        world._videos_col = columns["videos"]
+        world._global_starts_col = columns["global_starts"]
+        world._content_digest = None
+        world._arrays = InstanceArrays(
+            starts=columns["starts"],
+            ends=columns["ends"],
+            durations=columns["durations"],
+            entry=columns["entry"],
+            exit=columns["exit"],
+            class_codes=columns["class_codes"],
+            class_names=tuple(meta["class_names"]),
+        )
+        world._video_index = {
+            video: (
+                columns[f"vidx/{video}/starts"],
+                columns[f"vidx/{video}/ends"],
+                columns[f"vidx/{video}/ids"],
+            )
+            for video in meta["video_ids"]
+        }
+        return world
+
+    def _instance_at(self, uid: int) -> ObjectInstance:
+        """Materialize one :class:`ObjectInstance` from the columns."""
+        arrays = self.instance_arrays()
+        entry = arrays.entry[uid]
+        exit_ = arrays.exit[uid]
+        return ObjectInstance(
+            uid=uid,
+            class_name=arrays.class_names[int(arrays.class_codes[uid])],
+            video=int(self._videos_col[uid]),
+            start=int(arrays.starts[uid]),
+            end=int(arrays.ends[uid]),
+            entry_box=BoundingBox(
+                float(entry[0]), float(entry[1]), float(entry[2]), float(entry[3])
+            ),
+            exit_box=BoundingBox(
+                float(exit_[0]), float(exit_[1]), float(exit_[2]), float(exit_[3])
+            ),
+            global_start=int(self._global_starts_col[uid]),
+        )
 
 
 class SyntheticWorldBuilder:

@@ -103,6 +103,35 @@ class TestDetectionCacheUnit:
         assert revived.info().requests == 0
 
 
+class TestScopedKeys:
+    """Every cache is scoped: one instance may serve several detectors."""
+
+    def test_one_cache_shared_by_two_engines_never_collides(self):
+        cache = DetectionCache()
+        dataset_a = make_tiny_dataset(seed=0)
+        dataset_b = make_tiny_dataset(seed=9)
+        engine_a = QueryEngine(dataset_a, seed=0, detection_cache=cache)
+        engine_b = QueryEngine(dataset_b, seed=9, detection_cache=cache)
+        assert engine_a.detector.cache_scope() != engine_b.detector.cache_scope()
+        frames = list(range(0, 400, 7))
+        for engine, dataset, seed in (
+            (engine_a, dataset_a, 0),
+            (engine_b, dataset_b, 9),
+        ):
+            got = engine.detector.detect_batch([0] * len(frames), frames)
+            reference = SimulatedDetector(dataset.world, seed=seed)
+            want = reference.detect_batch([0] * len(frames), frames)
+            assert [[_det_key(d) for d in ds] for ds in got] == [
+                [_det_key(d) for d in ds] for ds in want
+            ]
+
+    def test_scope_is_stable_across_pickling(self):
+        dataset = make_tiny_dataset(seed=3)
+        detector = SimulatedDetector(dataset.world, seed=3)
+        clone = pickle.loads(pickle.dumps(detector))
+        assert clone.cache_scope() == detector.cache_scope()
+
+
 class TestDetectorWithCache:
     @pytest.fixture(scope="class")
     def dataset(self):

@@ -15,6 +15,7 @@ from repro.core.sampler import ExSampleSearcher
 from repro.errors import ConfigError
 from repro.experiments import fig2, fig3
 from repro.experiments.parallel import (
+    clear_dataset_engines,
     dataset_engine,
     parallel_map,
     parallel_sweep_methods,
@@ -94,15 +95,36 @@ class TestParallelMap:
         items = list(range(20))
         assert parallel_map(_square, items, jobs=3) == [x * x for x in items]
 
-    def test_serial_fallback_for_closures(self):
+    def test_serial_fallback_for_closures_warns(self):
         captured = []
 
         def unpicklable(x):
             captured.append(x)
             return -x
 
-        assert parallel_map(unpicklable, [1, 2, 3], jobs=4) == [-1, -2, -3]
+        with pytest.warns(RuntimeWarning, match="does not pickle"):
+            assert parallel_map(unpicklable, [1, 2, 3], jobs=4) == [-1, -2, -3]
         assert captured == [1, 2, 3]  # ran in this process
+
+    def test_probe_serializes_one_item_not_the_whole_list(self):
+        """The pre-flight pickle probe covers fn plus one representative
+        item; the full task list is serialized once, at submit time."""
+        from repro.experiments import parallel as parallel_mod
+
+        seen = []
+        original = parallel_mod._probe_task
+
+        def recording_probe(fn, item):
+            seen.append(item)
+            return original(fn, item)
+
+        parallel_mod._probe_task = recording_probe
+        try:
+            items = list(range(6))
+            assert parallel_map(_square, items, jobs=2) == [x * x for x in items]
+        finally:
+            parallel_mod._probe_task = original
+        assert seen == [0]
 
     def test_worker_exception_propagates(self):
         with pytest.raises(ValueError, match="task 0 failed"):
@@ -136,6 +158,41 @@ class TestParallelSweep:
         assert list(serial) == list(parallel)  # method order preserved
         for method in serial:
             assert _traces_equal(serial[method].trace, parallel[method].trace)
+
+
+class TestDatasetEngineMemo:
+    """The process-local engine memo honors cache policy and stays bounded."""
+
+    def test_cache_policy_reaches_worker_built_engines(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        clear_dataset_engines()
+        _, engine_off = dataset_engine("dashcam", 0.02, 21, cache="off")
+        assert engine_off.detection_cache is None
+        _, engine_lru = dataset_engine("dashcam", 0.02, 21, cache="lru")
+        assert engine_lru.detection_cache.policy == "lru"
+        assert engine_lru is not engine_off  # policy is part of the memo key
+        _, engine_default = dataset_engine("dashcam", 0.02, 21)
+        assert engine_default.detection_cache.policy == "unbounded"
+        # The env knob (what CLI --cache sets, and workers inherit) wins
+        # over the default when no explicit policy is passed.
+        monkeypatch.setenv("REPRO_CACHE", "lru")
+        _, engine_env = dataset_engine("dashcam", 0.02, 21)
+        assert engine_env.detection_cache.policy == "lru"
+        assert engine_env is engine_lru
+        clear_dataset_engines()
+
+    def test_memo_is_bounded_with_a_clear_path(self):
+        from repro.experiments.parallel import _ENGINE_MEMO_SLOTS, _dataset_engine
+
+        clear_dataset_engines()
+        assert _dataset_engine.cache_info().maxsize == _ENGINE_MEMO_SLOTS
+        dataset_engine("dashcam", 0.02, 31)
+        assert _dataset_engine.cache_info().currsize == 1
+        assert dataset_engine("dashcam", 0.02, 31)[1] is dataset_engine(
+            "dashcam", 0.02, 31
+        )[1]
+        clear_dataset_engines()
+        assert _dataset_engine.cache_info().currsize == 0
 
 
 class TestExperimentHarnesses:

@@ -1,0 +1,313 @@
+"""Tests for the shared-memory transport behind the parallel backbone.
+
+The contracts under test:
+
+* a published world pickles as a ~100-byte handle and the attached
+  world answers every query identically to the original;
+* ``parallel_traces``/``parallel_sweep_methods`` stay element-wise
+  identical to serial under both fork and spawn start methods with
+  ``shared_world`` on (the CI default fork would otherwise mask
+  spawn-only serialization bugs);
+* segment hygiene — the pool unlinks every ``repro_shm_*`` segment on
+  normal exit and after an injected worker crash, and nothing stale is
+  left in ``/dev/shm``;
+* one :class:`SharedDetectionCache` serves every process of a pool.
+"""
+
+import os
+import pickle
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.detection.cache import make_detection_cache
+from repro.errors import ConfigError
+from repro.experiments.parallel import (
+    dataset_engine,
+    parallel_map,
+    parallel_sweep_methods,
+    parallel_traces,
+)
+from repro.parallel.shm import (
+    _ATTACHED_SEGMENTS,
+    _ATTACHED_WORLDS,
+    _LIVE_STORES,
+    SEGMENT_PREFIX,
+    SharedDetectionCache,
+    SharedWorldStore,
+    attach_shared_world,
+)
+from repro.query.query import DistinctObjectQuery
+
+from tests.conftest import make_tiny_dataset
+
+
+def _segments() -> set:
+    try:
+        names = os.listdir("/dev/shm")
+    except FileNotFoundError:  # pragma: no cover - non-POSIX dev boxes
+        return set()
+    return {name for name in names if name.startswith(SEGMENT_PREFIX)}
+
+
+@pytest.fixture(autouse=True)
+def _no_segment_leaks():
+    """Every test in this module must leave /dev/shm as it found it."""
+    before = _segments()
+    yield
+    assert _segments() == before
+
+
+def _traces_equal(a, b):
+    return (
+        np.array_equal(a.chunks, b.chunks)
+        and np.array_equal(a.frames, b.frames)
+        and np.array_equal(a.d0s, b.d0s)
+        and np.array_equal(a.d1s, b.d1s)
+        and np.array_equal(a.costs, b.costs)
+    )
+
+
+@contextmanager
+def _attach_as_worker_would(handle):
+    """Attach a handle bypassing the same-process short-circuits.
+
+    The segment mapping must outlive every zero-copy view, so cleanup
+    (registry restore + unmap) runs only after the ``with`` body.
+    """
+    store = _LIVE_STORES.pop(handle.segment)
+    try:
+        yield attach_shared_world(handle)
+    finally:
+        _LIVE_STORES[handle.segment] = store
+        _ATTACHED_WORLDS.pop(handle.segment, None)
+        segment = _ATTACHED_SEGMENTS.pop(handle.segment, None)
+        if segment is not None:
+            segment.close()
+
+
+class TestSharedWorldStore:
+    def test_handle_pickling_and_lifecycle(self):
+        world = make_tiny_dataset(seed=3).world
+        by_value = pickle.dumps(world)
+        with SharedWorldStore(world) as store:
+            as_handle = pickle.dumps(world)
+            assert len(as_handle) < 512 < len(by_value)
+            assert store.handle.segment in _segments()
+            # Same-process unpickling short-circuits to the original.
+            assert pickle.loads(as_handle) is world
+            # A world cannot be published twice.
+            with pytest.raises(ConfigError):
+                SharedWorldStore(world)
+        assert store.handle.segment not in _segments()
+        assert world._shared_handle is None
+        # Unpublished again: by-value pickling is restored, bit for bit.
+        assert pickle.dumps(world) == by_value
+        store.close()  # idempotent
+
+    def test_attached_world_is_equivalent(self):
+        world = make_tiny_dataset(seed=4).world
+        with SharedWorldStore(world) as store:
+            with _attach_as_worker_would(store.handle) as attached:
+                assert attached is not world
+                assert attached.num_instances == world.num_instances
+                assert attached.class_names() == world.class_names()
+                for name in world.class_names():
+                    assert attached.count_of(name) == world.count_of(name)
+                    assert attached.instances_of(name) == world.instances_of(name)
+                frames = np.arange(0, 1200, 7)
+                for video in range(world.repository.num_videos):
+                    got = attached.visible_uids_batch(video, frames)
+                    want = world.visible_uids_batch(video, frames)
+                    assert np.array_equal(got[0], want[0])
+                    assert np.array_equal(got[1], want[1])
+                uids = np.arange(world.num_instances)
+                at = world.instance_arrays().starts
+                assert np.array_equal(
+                    attached.boxes_at(uids, at), world.boxes_at(uids, at)
+                )
+                assert np.array_equal(
+                    attached.presence_mask("car"), world.presence_mask("car")
+                )
+                assert [v.fps for v in attached.repository.videos] == [
+                    v.fps for v in world.repository.videos
+                ]
+                # Lazy instance materialization round-trips exact values.
+                assert list(attached.instances) == list(world.instances)
+
+
+# -- identity under fork and spawn -------------------------------------------
+
+
+def _make_dataset_searcher(engine, class_name, run_idx):
+    env = engine.environment(class_name, run_seed=run_idx)
+    return engine.make_searcher("exsample", env, run_seed=run_idx)
+
+
+def _sweep_engine():
+    _, engine = dataset_engine("dashcam", 0.02, 13)
+    return engine
+
+
+@pytest.mark.parametrize("context", ["fork", "spawn"])
+def test_parallel_traces_identical_with_shared_world(context):
+    engine = _sweep_engine()
+    make = partial(_make_dataset_searcher, engine, "person")
+    serial = parallel_traces(make, 3, jobs=1, frame_budget=300)
+    parallel = parallel_traces(
+        make, 3, jobs=2, context=context, shared_world=True, frame_budget=300
+    )
+    assert len(serial) == len(parallel) == 3
+    for a, b in zip(serial, parallel):
+        assert _traces_equal(a, b)
+    assert engine.dataset.world._shared_handle is None
+
+
+@pytest.mark.parametrize("context", ["fork", "spawn"])
+def test_parallel_sweep_identical_with_shared_world(context):
+    engine = _sweep_engine()
+    query = DistinctObjectQuery("person", limit=6)
+    serial = parallel_sweep_methods(engine, query, jobs=1)
+    parallel = parallel_sweep_methods(
+        engine, query, jobs=2, context=context, shared_world=True
+    )
+    assert list(serial) == list(parallel)
+    for method in serial:
+        assert _traces_equal(serial[method].trace, parallel[method].trace)
+
+
+# -- hygiene: crash and exit cleanup -----------------------------------------
+
+
+def _world_probe(world, item):
+    return (item, world.num_instances)
+
+
+def _crash_with_world(world, item):
+    os._exit(17)
+
+
+def test_segments_unlinked_after_normal_pool_exit():
+    world = make_tiny_dataset(seed=5).world
+    results = parallel_map(
+        partial(_world_probe, world), range(4), jobs=2, shared_world=True
+    )
+    assert results == [(i, world.num_instances) for i in range(4)]
+    assert world._shared_handle is None
+
+
+def test_segments_unlinked_after_worker_crash():
+    world = make_tiny_dataset(seed=6).world
+    with pytest.raises(BrokenProcessPool):
+        parallel_map(
+            partial(_crash_with_world, world), range(4), jobs=2, shared_world=True
+        )
+    assert world._shared_handle is None
+    # The autouse fixture asserts /dev/shm itself is clean.
+
+
+# -- the cross-process detection memo ----------------------------------------
+
+
+def _observe_with_engine(engine, run_seed):
+    sizes = engine.dataset.chunk_map.sizes()
+    rng = np.random.default_rng(0)
+    picks = [
+        (int(c), int(rng.integers(0, sizes[c])))
+        for c in rng.integers(0, sizes.size, 48)
+    ]
+    observations = engine.environment("person", run_seed=run_seed).observe_batch(picks)
+    info = engine.cache_info()
+    hits, misses = (info.hits, info.misses) if info is not None else (0, 0)
+    return [(o.d0, o.d1, o.cost) for o in observations], hits, misses
+
+
+class TestSharedDetectionCache:
+    def test_local_semantics_match_detection_cache(self):
+        cache = SharedDetectionCache()
+        key = (0, 10, "person")
+        assert cache.get(key) is None
+        cache.put(key, ["row-a", "row-b"])
+        hit = cache.get(key)
+        assert hit == ["row-a", "row-b"]
+        hit.append("mutated")  # a copy, like DetectionCache.get
+        assert cache.get(key) == ["row-a", "row-b"]
+        info = cache.info()
+        assert (info.policy, info.hits, info.misses) == ("shared", 2, 1)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0 and cache.info().requests == 0
+
+    def test_pickle_ships_the_store_not_the_counters(self):
+        cache = SharedDetectionCache()
+        cache.put((0, 1, None), ["row"])
+        cache.get((0, 1, None))
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.hits == clone.misses == 0
+        assert clone.get((0, 1, None)) == ["row"]  # same shared store
+        cache.clear()
+
+    def test_make_detection_cache_shared_spec(self):
+        cache = make_detection_cache("shared")
+        assert isinstance(cache, SharedDetectionCache)
+        assert make_detection_cache("shared") is cache  # process singleton
+        assert make_detection_cache(cache) is cache
+
+    def test_one_store_serves_several_detectors_without_collisions(self):
+        """Keys are namespaced by detector identity (seed/profile/world).
+
+        A multi-dataset sweep's workers all adopt one shared cache, so
+        detectors over *different* worlds — which reuse the same
+        ``(video, frame)`` coordinates — must never read each other's
+        rows. Regression test: un-scoped keys made fig5 crash on
+        cross-world uids.
+        """
+        from repro.query.engine import QueryEngine
+        from repro.video.datasets import make_dataset
+
+        cache = SharedDetectionCache()
+        engines = {}
+        for name, seed in (("dashcam", 5), ("amsterdam", 5), ("dashcam", 6)):
+            dataset = make_dataset(name, scale=0.02, seed=seed)
+            engines[(name, seed)] = QueryEngine(
+                dataset, seed=seed, detection_cache=cache
+            )
+        for (name, seed), engine in engines.items():
+            reference = QueryEngine(
+                make_dataset(name, scale=0.02, seed=seed),
+                seed=seed,
+                detection_cache="off",
+            )
+            for run_seed in (0, 1):  # second lap reads the shared rows
+                got = _observe_with_engine(engine, run_seed)[0]
+                assert got == _observe_with_engine(reference, run_seed)[0]
+        scopes = {
+            engine.detector.cache_scope() for engine in engines.values()
+        }
+        assert len(scopes) == len(engines)
+        cache.clear()
+
+    def test_fresh_workers_hit_entries_from_previous_pool(self):
+        from repro.query.engine import QueryEngine
+        from repro.video.datasets import make_dataset
+
+        dataset = make_dataset("dashcam", scale=0.02, seed=5)
+        engine = QueryEngine(dataset, seed=5, detection_cache="shared")
+        engine.detection_cache.clear()
+        fn = partial(_observe_with_engine, engine)
+        first = parallel_map(fn, [0, 1], jobs=2, shared_world=True)
+        second = parallel_map(fn, [0, 1], jobs=2, shared_world=True)
+        assert [obs for obs, _, _ in first] == [obs for obs, _, _ in second]
+        # Second pool's workers start with cold local counters; their hits
+        # can only come from entries another process wrote to the store.
+        assert all(hits > 0 and misses == 0 for _, hits, misses in second)
+        # Serial reference: identical observations without any sharing.
+        reference = QueryEngine(
+            make_dataset("dashcam", scale=0.02, seed=5), seed=5, detection_cache="off"
+        )
+        for run_seed, (observations, _, _) in enumerate(first):
+            assert _observe_with_engine(reference, run_seed)[0] == observations
+        engine.detection_cache.clear()
