@@ -13,6 +13,8 @@ The library has four layers:
   ordering, and the Eq. IV.1 oracle.
 * :mod:`repro.query` / :mod:`repro.experiments` — the user-facing engine and
   the harnesses regenerating every table and figure in the paper.
+* :mod:`repro.serving` — the asyncio multi-tenant server: many concurrent
+  sessions on one event loop, detector requests fused across them.
 
 Quickstart::
 
@@ -39,6 +41,7 @@ from repro.query import (
     register_searcher,
     savings_ratio,
 )
+from repro.serving import QueryServer, ServerConfig
 from repro.video import make_dataset
 
 __version__ = "1.0.0"
@@ -51,8 +54,10 @@ __all__ = [
     "ExSampleSearcher",
     "QueryEngine",
     "QueryOutcome",
+    "QueryServer",
     "QuerySession",
     "ResultFound",
+    "ServerConfig",
     "SEARCH_METHODS",
     "SampleBatch",
     "SearchTrace",

@@ -10,6 +10,7 @@ Examples::
     python -m repro experiment fig3
     python -m repro experiment table1 --full
     python -m repro ablation policy
+    python -m repro serve --dataset dashcam --workload workload.json
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.registry import searcher_specs
+from repro.errors import ReproError
 from repro.experiments import ablations as ablations_mod
 from repro.experiments import fig2, fig3, fig4, fig5, fig6, table1
 from repro.experiments.runner import default_config, sweep_methods
@@ -28,6 +30,7 @@ from repro.query.engine import SEARCH_METHODS, QueryEngine
 from repro.query.metrics import time_to_recall
 from repro.query.query import DistinctObjectQuery
 from repro.query.session import BudgetExhausted, ResultFound
+from repro.serving.policies import SCHEDULING_POLICIES
 from repro.utils.tables import ascii_table, format_duration
 from repro.video.datasets import DATASET_BUILDERS, make_dataset
 
@@ -113,6 +116,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the method sweep (default: REPRO_JOBS or 1)",
     )
     _add_shared_flags(compare)
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a workload file of queries against the async server",
+    )
+    serve.add_argument("--dataset", required=True, choices=sorted(DATASET_BUILDERS))
+    serve.add_argument(
+        "--workload", required=True,
+        help="JSON workload file: queries with arrival times "
+             "(see repro.serving.workload for the format)",
+    )
+    serve.add_argument("--scale", type=float, default=0.05)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--time-scale", type=float, default=0.0,
+        help="stretch factor for workload arrival times; 0 (default) "
+             "submits as fast as admission allows",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=8,
+        help="maximum sessions stepping concurrently (admission control)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="admission queue bound; beyond it submissions backpressure",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=256,
+        help="maximum frames per fused detector call",
+    )
+    serve.add_argument(
+        "--flush-ms", type=float, default=2.0,
+        help="max milliseconds a detector request waits for batch company",
+    )
+    serve.add_argument(
+        "--policy", default="round_robin",
+        choices=sorted(SCHEDULING_POLICIES),
+        help="scheduling policy for admission and batch assembly",
+    )
+    serve.add_argument(
+        "--no-batching", action="store_true",
+        help="disable cross-session batching (per-session detector calls; "
+             "results are unaffected, detector call counts are not)",
+    )
+    serve.add_argument(
+        "--cache", default="unbounded",
+        choices=("unbounded", "lru", "off", "shared"),
+        help="detection memoization policy (results are unaffected)",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table or figure"
@@ -319,6 +371,92 @@ def _apply_parallel_env(args) -> None:
         os.environ["REPRO_CACHE"] = args.cache
 
 
+def _cmd_serve(args, out) -> int:
+    """Replay a workload of timed query arrivals against a QueryServer."""
+    import asyncio
+
+    from repro.serving import ServerConfig, load_workload, replay
+    from repro.serving.workload import WorkloadItem  # noqa: F401 - format doc
+
+    items = load_workload(args.workload)
+    if not items:
+        print("workload is empty; nothing to serve", file=out)
+        return 0
+    dataset = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    # Validate every entry against this dataset/registry up front: one bad
+    # item should be a clean per-item message before serving starts, not a
+    # traceback that abandons the sessions already in flight.
+    problems = []
+    for index, item in enumerate(items):
+        if item.object not in dataset.classes:
+            problems.append(
+                f"entry {index}: class {item.object!r} not in dataset "
+                f"{args.dataset!r} (available: {dataset.classes})"
+            )
+        if item.method not in SEARCH_METHODS:
+            problems.append(
+                f"entry {index}: unknown method {item.method!r} "
+                f"(available: {list(SEARCH_METHODS)})"
+            )
+        if item.batch_size is not None and item.batch_size < 1:
+            problems.append(f"entry {index}: batch_size must be >= 1")
+        try:
+            item.query()
+        except ReproError as exc:
+            problems.append(f"entry {index}: {exc}")
+    if problems:
+        for problem in problems:
+            print(f"invalid workload: {problem}", file=out)
+        return 1
+    engine = QueryEngine(dataset, seed=args.seed, detection_cache=args.cache)
+    config = ServerConfig(
+        max_in_flight=args.max_in_flight,
+        queue_capacity=args.queue_capacity,
+        max_batch_size=args.max_batch,
+        flush_latency=args.flush_ms / 1000.0,
+        policy=args.policy,
+        batching=not args.no_batching,
+    )
+
+    async def _run():
+        server = engine.serve(config=config)
+        handles = await replay(server, items, time_scale=args.time_scale)
+        await server.drain()
+        return server, handles
+
+    server, handles = asyncio.run(_run())
+    rows = []
+    for item, handle in zip(items, handles):
+        state = handle.state
+        rows.append(
+            (
+                handle.tenant,
+                item.object,
+                handle.method,
+                handle.num_results if state == "finished" else "-",
+                handle.num_samples,
+                state,
+            )
+        )
+    print(
+        ascii_table(
+            ["tenant", "object", "method", "results", "frames", "state"],
+            rows,
+            title=f"workload replay: {args.workload} over {args.dataset}",
+        ),
+        file=out,
+    )
+    print(server.stats().describe(), file=out)
+    failed = [h for h in handles if h.state == "failed"]
+    for handle in failed:
+        print(
+            f"FAILED {handle.tenant}/{handle.query.class_name}: "
+            f"{handle.error}",
+            file=out,
+        )
+    return 1 if failed else 0
+
+
 def _cmd_experiment(args, out) -> int:
     _apply_parallel_env(args)
     if args.name == "all":
@@ -366,6 +504,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_query(args, out)
     if args.command == "compare":
         return _cmd_compare(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
     if args.command == "experiment":
         return _cmd_experiment(args, out)
     if args.command == "ablation":

@@ -33,6 +33,32 @@ when an environment does not provide the method. Vectorised
 implementations live in :class:`repro.query.engine.VideoSearchEnvironment`
 (batched detector, discriminator and cost-model calls) and
 :class:`repro.theory.temporal_sim.TemporalEnvironment`.
+
+The request/fulfil split (serving)
+----------------------------------
+
+A serving layer that multiplexes many concurrent searches over one
+detector needs to *see* a search's pending frame requests without blocking
+on the detector, so it can coalesce requests across sessions into fused
+detector batches (see :mod:`repro.serving`). Environments that can
+separate "which frames, at what cost" from "what the detections mean"
+therefore optionally split ``observe_batch`` into three phases::
+
+    propose_batch(picks)                  -> FrameRequest
+    detect_request(request)               -> List[List[detection]]
+    ingest_batch(request, detection_lists)-> List[Observation]
+
+``propose_batch`` resolves addresses and costs and names the frames the
+detector must process (a :class:`FrameRequest`); ``detect_request`` is the
+blocking detector invocation for exactly that request; ``ingest_batch``
+folds externally produced detections through the environment's stateful
+parts (the discriminator) in pick order. ``observe_batch`` must equal the
+composition of the three — the regression suites assert byte-identical
+traces — so a blocking caller and a serving event loop run literally the
+same computation, merely scheduling the detector differently. Environments
+without the split (the theory simulators, plain callables) simply never
+offer cross-session batching; :func:`propose_frames` returns None for them
+and every driver falls back to :func:`batched_observe`.
 """
 
 from __future__ import annotations
@@ -74,6 +100,42 @@ class Observation:
     results: List[object] = field(default_factory=list)
     cost: float = 0.0
     d1_origin_chunks: "List[int] | None" = None
+
+
+@dataclass
+class FrameRequest:
+    """The detector-facing half of a proposed observation batch.
+
+    Produced by an environment's ``propose_batch`` and consumed by its
+    ``ingest_batch``; in between, *someone* — the environment itself on
+    the blocking path, a :class:`repro.serving.DetectorBatcher` on the
+    serving path — must produce one detection list per requested frame.
+
+    Attributes
+    ----------
+    picks:
+        The ``(chunk, frame)`` pairs this request covers, in pick order.
+    videos, frames:
+        The resolved per-pick detector addresses (video id and
+        within-video frame), aligned with ``picks``.
+    class_filter:
+        Class restriction for the detector call, or None for all classes.
+        Requests may only be fused into one detector batch when their
+        filters agree — filtering happens inside the detector, keyed into
+        its cache, so it is part of the request's identity.
+    context:
+        Environment-private data carried from propose to ingest (the video
+        environment stashes per-pick costs here). Opaque to callers.
+    """
+
+    picks: List[Tuple[int, int]]
+    videos: List[int]
+    frames: List[int]
+    class_filter: "str | None" = None
+    context: object = None
+
+    def __len__(self) -> int:
+        return len(self.picks)
 
 
 @runtime_checkable
@@ -122,6 +184,23 @@ def batched_observe(
     if method is not None:
         return method(picks)
     return [env.observe(chunk, frame) for chunk, frame in picks]
+
+
+def propose_frames(
+    env: SearchEnvironment, picks: Sequence[Tuple[int, int]]
+) -> "FrameRequest | None":
+    """Propose ``picks`` as a :class:`FrameRequest`, if the env supports it.
+
+    The dispatch twin of :func:`batched_observe` for the request/fulfil
+    split: environments exposing ``propose_batch`` get their request
+    surfaced (so a server can fulfil detection elsewhere — fused with
+    other sessions' requests); for everything else this returns None and
+    the caller must observe through :func:`batched_observe`.
+    """
+    method = getattr(env, "propose_batch", None)
+    if method is None:
+        return None
+    return method(picks)
 
 
 class CallbackEnvironment:

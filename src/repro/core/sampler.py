@@ -24,7 +24,13 @@ import numpy as np
 from repro.core.belief import make_policy
 from repro.core.chunk_state import ChunkStatistics
 from repro.core.config import ExSampleConfig
-from repro.core.environment import Observation, SearchEnvironment, batched_observe
+from repro.core.environment import (
+    FrameRequest,
+    Observation,
+    SearchEnvironment,
+    batched_observe,
+    propose_frames,
+)
 from repro.core.frame_order import FrameOrder, make_order
 from repro.core.registry import register_searcher
 from repro.errors import ConfigError, ExhaustedError
@@ -313,6 +319,26 @@ class Searcher:
 
 
 @dataclass
+class StepProposal:
+    """One step's pending work: picked frames awaiting detection.
+
+    Produced by :meth:`SearchRun.propose` and consumed by
+    :meth:`SearchRun.fulfil`. ``request`` carries the environment's
+    :class:`~repro.core.environment.FrameRequest` when the environment
+    supports the request/fulfil split (so a server can fulfil detection
+    externally — fused with other sessions); it is None for environments
+    that only offer blocking observation, in which case the holder must
+    observe through :func:`~repro.core.environment.batched_observe`.
+    ``extra_cost`` is the searcher's deferred pick-time cost, captured at
+    propose time so the proposal is self-contained.
+    """
+
+    picks: List[Tuple[int, int]]
+    request: Optional[FrameRequest]
+    extra_cost: float = 0.0
+
+
+@dataclass
 class SearchStep:
     """What one :meth:`SearchRun.step` call produced.
 
@@ -372,6 +398,10 @@ class SearchRun:
             searcher.name, upfront_cost=searcher.upfront_cost()
         )
         self._reason: Optional[str] = self._breached()
+        # True between propose() and fulfil(); serialised with the run so
+        # a checkpoint taken at a batch boundary restores cleanly (servers
+        # only checkpoint between steps, where this is False).
+        self._outstanding = False
 
     # -- limit-facing counters (live, O(1)) --------------------------------
 
@@ -424,21 +454,73 @@ class SearchRun:
         point are neither recorded nor charged, so a batched run stops at
         exactly the same sample count and cost as the equivalent
         one-frame-at-a-time run.
+
+        This is the blocking composition of the request/fulfil split:
+        :meth:`propose` the batch, run the environment's detector on it,
+        :meth:`fulfil` with the observations. A serving event loop calls
+        the same three phases but fulfils detection through a
+        cross-session batcher (:mod:`repro.serving`).
         """
         if self.finished:
             return SearchStep([], [], [], True, self._reason)
+        proposal = self.propose()
+        if proposal is None:
+            return SearchStep([], [], [], True, self._reason)
+        env = self.searcher.env
+        if proposal.request is not None:
+            detections = env.detect_request(proposal.request)
+            observations = env.ingest_batch(proposal.request, detections)
+        else:
+            observations = batched_observe(env, proposal.picks)
+        return self.fulfil(proposal, observations)
+
+    def propose(self) -> Optional[StepProposal]:
+        """Pick the next batch and surface it without touching the detector.
+
+        Returns None when the run is finished or the searcher has no
+        frames left (which finishes the run with reason ``"exhausted"``).
+        At most one proposal may be outstanding: the searcher's frame
+        orders and RNG streams advanced when the batch was picked, so the
+        proposal must be fulfilled (or the run abandoned) before the next
+        one.
+        """
+        if self.finished:
+            return None
+        if self._outstanding:
+            raise RuntimeError(
+                "a step proposal is already outstanding; fulfil it before "
+                "proposing again"
+            )
         searcher = self.searcher
         picks = searcher.pick_batch()
         if not picks:
             self._reason = "exhausted"
-            return SearchStep([], [], [], True, self._reason)
-        observations = batched_observe(searcher.env, picks)
+            return None
+        request = propose_frames(searcher.env, picks)
         extra_cost = searcher.consume_extra_cost()
+        self._outstanding = True
+        return StepProposal(picks=picks, request=request, extra_cost=extra_cost)
+
+    def fulfil(
+        self, proposal: StepProposal, observations: List[Observation]
+    ) -> SearchStep:
+        """Record a proposed batch's observations and update the searcher.
+
+        ``observations`` must align with ``proposal.picks`` (for split
+        environments: ``env.ingest_batch(proposal.request, detections)``).
+        Mid-batch stopping applies exactly as on the blocking path.
+        """
+        if not self._outstanding:
+            raise RuntimeError("fulfil called with no outstanding proposal")
+        self._outstanding = False
+        picks = proposal.picks
         trace = self._trace
         new_results: List[Tuple[int, object]] = []
         consumed = 0
         for (chunk, frame), obs in zip(picks, observations):
-            trace.record(chunk, frame, obs, extra_cost if consumed == 0 else 0.0)
+            trace.record(
+                chunk, frame, obs, proposal.extra_cost if consumed == 0 else 0.0
+            )
             consumed += 1
             if obs.results:
                 sample_index = trace.num_samples
@@ -446,7 +528,7 @@ class SearchRun:
             self._reason = self._breached()
             if self._reason is not None:
                 break
-        searcher.update(picks[:consumed], observations[:consumed])
+        self.searcher.update(picks[:consumed], observations[:consumed])
         return SearchStep(
             picks[:consumed],
             observations[:consumed],
@@ -458,6 +540,12 @@ class SearchRun:
     def trace(self) -> SearchTrace:
         """Freeze everything recorded so far into a :class:`SearchTrace`."""
         return self._trace.build()
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Checkpoints written before the request/fulfil split predate the
+        # outstanding-proposal flag; a restored run is at a batch boundary.
+        self.__dict__.setdefault("_outstanding", False)
 
 
 class ExSampleSearcher(Searcher):

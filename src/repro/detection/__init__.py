@@ -3,6 +3,7 @@
 from repro.detection.cache import (
     CacheInfo,
     DetectionCache,
+    ScopeCacheInfo,
     make_detection_cache,
 )
 from repro.detection.detections import Detection, filter_class, filter_score
@@ -20,6 +21,7 @@ __all__ = [
     "DetectorProfile",
     "PERFECT_PROFILE",
     "ProxyModel",
+    "ScopeCacheInfo",
     "SimulatedDetector",
     "filter_class",
     "filter_score",

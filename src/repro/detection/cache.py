@@ -33,9 +33,10 @@ the world or seed changes between save and load.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import ConfigError
 
@@ -47,14 +48,38 @@ CacheSpec = Union[str, "DetectionCache", None]
 
 
 @dataclass(frozen=True)
+class ScopeCacheInfo:
+    """Hit/miss counts attributed to one cache scope (one detector)."""
+
+    hits: int
+    misses: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+@dataclass(frozen=True)
 class CacheInfo:
-    """A point-in-time snapshot of cache effectiveness."""
+    """A point-in-time snapshot of cache effectiveness.
+
+    ``per_scope`` breaks the totals down by cache scope — the detector
+    identity prefix of each key — so a cache shared by several detectors
+    (a multi-dataset sweep's pool cache, a multi-tenant server) reports
+    which detector's lookups hit. Empty for a cache that has seen no
+    scoped lookups.
+    """
 
     policy: str
     hits: int
     misses: int
     size: int
     capacity: Optional[int]
+    per_scope: Mapping[str, ScopeCacheInfo] = field(default_factory=dict)
 
     @property
     def requests(self) -> int:
@@ -94,6 +119,12 @@ class DetectionCache:
     #: scoping; the prefix is a one-time digest per detector.
     scoped = True
 
+    #: Whether ``key in cache`` is a cheap in-process probe. Stat-only
+    #: consumers (the serving batcher's per-tenant hit attribution) skip
+    #: probing when this is False — a proxy-backed store would pay one
+    #: IPC round-trip per probed frame for a statistic.
+    fast_contains = True
+
     def __init__(self, policy: str = "unbounded", capacity: int = 65536):
         if policy not in ("unbounded", "lru"):
             raise ConfigError(
@@ -107,12 +138,34 @@ class DetectionCache:
         self.capacity = capacity if policy == "lru" else None
         self.hits = 0
         self.misses = 0
+        self._scope_hits: Dict[str, int] = {}
+        self._scope_misses: Dict[str, int] = {}
+        # One cache instance routinely serves interleaved sessions — every
+        # tenant of a QueryServer, or several engines on worker threads —
+        # so counter updates and LRU reordering are guarded by a lock.
+        # Within one event loop the lock is uncontended (asyncio never
+        # preempts mid-call); it exists for thread-backed drivers.
+        self._lock = threading.Lock()
         self._store: "Dict[CacheKey, List[object]]" = (
             OrderedDict() if policy == "lru" else {}
         )
 
     def __len__(self) -> int:
         return len(self._store)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        """Counter-free presence probe.
+
+        Lets a batcher attribute per-tenant hits (which requested frames
+        were already memoized when its fused call was issued) without
+        perturbing the hit/miss statistics the real lookups maintain.
+        """
+        return key in self._store
+
+    @staticmethod
+    def _scope_of(key: CacheKey) -> str:
+        """The scope component of a key ('' for legacy un-scoped keys)."""
+        return key[0] if key and isinstance(key[0], str) else ""
 
     def get(self, key: CacheKey) -> Optional[List[object]]:
         """The cached detection list for ``key``, or None on a miss.
@@ -121,40 +174,64 @@ class DetectionCache:
         (detection objects themselves are frozen) without corrupting the
         cache.
         """
-        store = self._store
-        try:
-            value = store[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self.hits += 1
-        if self.capacity is not None:
-            store.move_to_end(key)  # type: ignore[attr-defined]
-        return list(value)
+        scope = self._scope_of(key)
+        with self._lock:
+            store = self._store
+            try:
+                value = store[key]
+            except KeyError:
+                self.misses += 1
+                self._scope_misses[scope] = self._scope_misses.get(scope, 0) + 1
+                return None
+            self.hits += 1
+            self._scope_hits[scope] = self._scope_hits.get(scope, 0) + 1
+            if self.capacity is not None:
+                store.move_to_end(key)  # type: ignore[attr-defined]
+            return list(value)
 
     def put(self, key: CacheKey, detections: List[object]) -> None:
         """Memoize one frame's finished (already filtered) detections."""
-        store = self._store
-        store[key] = list(detections)
-        if self.capacity is not None:
-            store.move_to_end(key)  # type: ignore[attr-defined]
-            while len(store) > self.capacity:
-                store.popitem(last=False)  # type: ignore[call-arg]
+        with self._lock:
+            store = self._store
+            store[key] = list(detections)
+            if self.capacity is not None:
+                store.move_to_end(key)  # type: ignore[attr-defined]
+                while len(store) > self.capacity:
+                    store.popitem(last=False)  # type: ignore[call-arg]
 
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters."""
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+            self._scope_hits.clear()
+            self._scope_misses.clear()
+
+    def _per_scope(self) -> Dict[str, ScopeCacheInfo]:
+        scopes = set(self._scope_hits) | set(self._scope_misses)
+        return {
+            scope: ScopeCacheInfo(
+                hits=self._scope_hits.get(scope, 0),
+                misses=self._scope_misses.get(scope, 0),
+            )
+            for scope in sorted(scopes)
+        }
 
     def info(self) -> CacheInfo:
-        return CacheInfo(
-            policy=self.policy,
-            hits=self.hits,
-            misses=self.misses,
-            size=len(self._store),
-            capacity=self.capacity,
-        )
+        with self._lock:
+            return CacheInfo(
+                policy=self.policy,
+                hits=self.hits,
+                misses=self.misses,
+                size=len(self._store),
+                capacity=self.capacity,
+                per_scope=self._per_scope(),
+            )
+
+    def cache_info(self) -> CacheInfo:
+        """Alias of :meth:`info`, mirroring ``functools.lru_cache``."""
+        return self.info()
 
     # -- pickling: configuration travels, contents never ---------------------
 
@@ -173,6 +250,9 @@ class DetectionCache:
         self.capacity = state["capacity"]
         self.hits = 0
         self.misses = 0
+        self._scope_hits = {}
+        self._scope_misses = {}
+        self._lock = threading.Lock()
         self._store = OrderedDict() if self.capacity is not None else {}
 
 

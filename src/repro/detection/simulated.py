@@ -123,6 +123,12 @@ class SimulatedDetector:
         self.seed = seed
         self.cache = cache
         self.frames_processed = 0
+        # Invocation counter: how many times detect()/detect_batch() was
+        # *called* (regardless of batch size or cache hits). This is the
+        # quantity cross-session batching exists to shrink — a fused call
+        # covering eight sessions' frames counts once — and what the
+        # serving micro-bench gates on.
+        self.detect_calls = 0
         self._class_names = world.class_names() or ["object"]
         self._scope: Optional[str] = None
         # Per-frame streams are keyed on (seed, video, frame); the shared
@@ -166,6 +172,7 @@ class SimulatedDetector:
         same underlying detections regardless of which query asks.
         """
         self.frames_processed += 1
+        self.detect_calls += 1
         cache = self.cache
         if cache is None:
             return self._detect_filtered(video, frame, class_filter)
@@ -197,6 +204,7 @@ class SimulatedDetector:
         if len(videos) != len(frames):
             raise ConfigError("videos and frames must align")
         n = len(frames)
+        self.detect_calls += 1
         cache = self.cache
         out: List[Optional[List[Detection]]] = [None] * n
         if cache is None:

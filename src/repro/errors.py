@@ -35,3 +35,8 @@ class QueryError(ReproError):
 
 class SolverError(ReproError):
     """The optimal-weight solver failed to converge to a feasible point."""
+
+
+class ServerOverloadedError(ReproError):
+    """A query server's admission queue is full and the caller asked not
+    to wait (``submit(..., wait=False)``)."""

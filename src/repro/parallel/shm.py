@@ -296,23 +296,32 @@ class SharedDetectionCache(DetectionCache):
     detectors.
     """
 
+    #: ``in`` on the manager proxy is an IPC round-trip; stat-only
+    #: probes (the serving batcher's hit attribution) must not pay it.
+    fast_contains = False
+
     def __init__(self, store=None):
         self._store = _manager().dict() if store is None else store
         self.policy = "shared"
         self.capacity = None
         self.hits = 0
         self.misses = 0
+        self._scope_hits = {}
+        self._scope_misses = {}
 
     def __len__(self) -> int:
         return len(self._store)
 
     def get(self, key: CacheKey):
         """The cached detection list for ``key``, or None on a miss."""
+        scope = self._scope_of(key)
         blob = self._store.get(key)
         if blob is None:
             self.misses += 1
+            self._scope_misses[scope] = self._scope_misses.get(scope, 0) + 1
             return None
         self.hits += 1
+        self._scope_hits[scope] = self._scope_hits.get(scope, 0) + 1
         return pickle.loads(blob)
 
     def put(self, key: CacheKey, detections) -> None:
@@ -326,6 +335,8 @@ class SharedDetectionCache(DetectionCache):
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self._scope_hits.clear()
+        self._scope_misses.clear()
 
     def info(self) -> CacheInfo:
         return CacheInfo(
@@ -334,6 +345,7 @@ class SharedDetectionCache(DetectionCache):
             misses=self.misses,
             size=len(self._store),
             capacity=None,
+            per_scope=self._per_scope(),
         )
 
     def __getstate__(self) -> dict:
@@ -345,6 +357,8 @@ class SharedDetectionCache(DetectionCache):
         self.capacity = None
         self.hits = 0
         self.misses = 0
+        self._scope_hits = {}
+        self._scope_misses = {}
 
 
 def shared_detection_cache() -> SharedDetectionCache:

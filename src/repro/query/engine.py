@@ -29,7 +29,7 @@ import numpy as np
 import repro.baselines  # noqa: F401  - registers the five §II-B baselines
 import repro.extensions.fusion  # noqa: F401  - registers exsample_fusion
 from repro.core.config import ExSampleConfig
-from repro.core.environment import Observation
+from repro.core.environment import FrameRequest, Observation
 from repro.core.registry import (
     SEARCH_METHODS,
     SearcherContext,
@@ -134,15 +134,29 @@ class VideoSearchEnvironment:
     def observe_batch(self, picks) -> List[Observation]:
         """Vectorised batch observation (§III-F).
 
-        Address translation and cost lookup resolve in a handful of numpy
-        operations for the whole batch; the detector and discriminator
-        each get one call covering every pick. Results are identical to
-        per-pick :meth:`observe` calls in the same order — the detector is
-        deterministic per frame and the discriminator folds the batch's
-        frames into its track store sequentially.
+        The trivial propose-then-ingest composition: resolve the batch
+        into a :class:`~repro.core.environment.FrameRequest`, run the
+        detector on it, fold the detections back in. Results are
+        identical to per-pick :meth:`observe` calls in the same order —
+        the detector is deterministic per frame and the discriminator
+        folds the batch's frames into its track store sequentially.
         """
         if not picks:
             return []
+        request = self.propose_batch(picks)
+        return self.ingest_batch(request, self.detect_request(request))
+
+    def propose_batch(self, picks) -> FrameRequest:
+        """Resolve picks into a detector-facing request without detecting.
+
+        Address translation and cost lookup resolve in a handful of numpy
+        operations for the whole batch; no detector or discriminator state
+        is touched, so any number of sessions can hold proposed requests
+        simultaneously while a serving layer fuses their detection.
+        """
+        picks = list(picks)
+        if not picks:
+            return FrameRequest([], [], [], self.class_name, context=[])
         chunks_arr = np.fromiter(
             (chunk for chunk, _ in picks), dtype=np.int64, count=len(picks)
         )
@@ -157,17 +171,47 @@ class VideoSearchEnvironment:
         videos = videos_arr.tolist()
         vframes = vframes_arr.tolist()
         costs = self.cost_model.sample_costs(videos_arr, vframes_arr).tolist()
-        detection_lists = self.detector.detect_batch(
-            videos, vframes, class_filter=self.class_name
+        return FrameRequest(
+            picks=picks,
+            videos=videos,
+            frames=vframes,
+            class_filter=self.class_name,
+            context=costs,
         )
+
+    def detect_request(self, request: FrameRequest) -> List[list]:
+        """The blocking detector invocation for one proposed request."""
+        return self.detector.detect_batch(
+            request.videos, request.frames, class_filter=request.class_filter
+        )
+
+    def ingest_batch(
+        self, request: FrameRequest, detection_lists: Sequence[list]
+    ) -> List[Observation]:
+        """Fold externally produced detections into observations.
+
+        ``detection_lists`` must hold one detection list per requested
+        frame — whatever :meth:`detect_request` would have returned,
+        whether it was produced by that method, by a fused cross-session
+        batch, or by a cache. The discriminator consumes the frames in
+        pick order, exactly as the blocking path would.
+        """
+        if len(detection_lists) != len(request.picks):
+            raise QueryError(
+                f"got {len(detection_lists)} detection lists for "
+                f"{len(request.picks)} requested frames"
+            )
+        if not request.picks:
+            return []
         matches = self.discriminator.observe_full_batch(
-            videos, vframes, detection_lists
+            request.videos, request.frames, list(detection_lists)
         )
         make_observation = self._observation_from
         return [
             make_observation(chunk, video, vframe, match, cost)
             for (chunk, _), video, vframe, match, cost in zip(
-                picks, videos, vframes, matches, costs
+                request.picks, request.videos, request.frames, matches,
+                request.context,
             )
         ]
 
@@ -396,27 +440,54 @@ class QueryEngine:
         )
         return session.run_to_completion()
 
+    def serve(self, config=None, **overrides):
+        """A :class:`~repro.serving.QueryServer` over this engine.
+
+        The asyncio entry point for concurrent multi-tenant serving: many
+        sessions on one event loop, detector requests fused across them
+        by a :class:`~repro.serving.DetectorBatcher`, this engine's
+        detection cache shared by every tenant. ``config`` is a
+        :class:`~repro.serving.ServerConfig`; keyword overrides build one
+        (``engine.serve(max_in_flight=16, policy="deadline")``). Must be
+        driven from within a running event loop; the blocking wrapper is
+        :meth:`run_many`.
+        """
+        from repro.serving import QueryServer, ServerConfig
+
+        if config is not None and overrides:
+            raise QueryError("pass config= or keyword overrides, not both")
+        if config is None:
+            config = ServerConfig(**overrides)
+        return QueryServer(self, config)
+
     def run_many(
         self,
         queries: Sequence[DistinctObjectQuery],
         method: Union[str, Sequence[str]] = "exsample",
         run_seeds: Optional[Sequence[int]] = None,
         config: Optional[ExSampleConfig] = None,
+        server_config=None,
         **searcher_kwargs,
     ) -> List[QueryOutcome]:
-        """Run several queries concurrently, interleaved round-robin.
+        """Run several queries concurrently over one shared detector.
 
-        All sessions share this engine's detector (and its caches), so the
-        interleaving models one GPU serving several outstanding queries —
-        the first step toward concurrent serving. Each query gets a fresh
-        environment and an independent ``run_seed`` (``run_seeds`` defaults
-        to ``0, 1, 2, ...``), which makes the outcomes *identical* to
-        running each query alone with the matching seed: interleaving
-        changes wall-clock scheduling, never results.
+        A thin blocking wrapper over the :class:`~repro.serving
+        .QueryServer` event loop — the one stepping loop in the codebase:
+        sessions interleave on the server, their detector requests fused
+        into cross-session batches over this engine's shared detection
+        cache. Each query gets a fresh environment and an independent
+        ``run_seed`` (``run_seeds`` defaults to ``0, 1, 2, ...``), which
+        makes the outcomes *identical* to running each query alone with
+        the matching seed: serving changes wall-clock scheduling, never
+        results.
 
         ``method`` may be one name for all queries or a sequence aligned
-        with ``queries``.
+        with ``queries``; ``server_config`` (a
+        :class:`~repro.serving.ServerConfig`) tunes batching and
+        admission for this call.
         """
+        from repro.serving import serve_sessions
+
         queries = list(queries)
         if isinstance(method, str):
             methods = [method] * len(queries)
@@ -444,15 +515,4 @@ class QueryEngine:
             )
             for query, name, seed in zip(queries, methods, run_seeds)
         ]
-        pending = list(sessions)
-        while pending:
-            # One batch per session per lap (no event materialisation on
-            # this blocking path); drop finished sessions so the tail of a
-            # long query does not keep polling completed ones.
-            still_running = []
-            for session in pending:
-                session.advance()
-                if not session.finished:
-                    still_running.append(session)
-            pending = still_running
-        return [s.outcome() for s in sessions]
+        return serve_sessions(sessions, engine=self, config=server_config)

@@ -116,6 +116,17 @@ class QuerySession:
     # -- progress introspection --------------------------------------------
 
     @property
+    def search_run(self) -> SearchRun:
+        """The underlying resumable stepper.
+
+        Exposed for drivers that schedule the propose/fulfil phases
+        themselves — the :class:`repro.serving.QueryServer` event loop
+        fulfils detection through a cross-session batcher. Ordinary
+        consumers should stick to :meth:`stream`/:meth:`step`.
+        """
+        return self._run
+
+    @property
     def finished(self) -> bool:
         """True once the search can make no further progress."""
         return self._run.finished
@@ -221,11 +232,10 @@ class QuerySession:
     def advance(self) -> None:
         """Advance one batch *without* materialising events.
 
-        For blocking drivers (:meth:`run_to_completion`,
-        ``QueryEngine.run_many``) that only read the final outcome: the
-        stepper does the same work, but no event objects are built. Mixing
-        this with :meth:`stream` forfeits the events of batches advanced
-        this way.
+        For blocking drivers (:meth:`run_to_completion`) that only read
+        the final outcome: the stepper does the same work, but no event
+        objects are built. Mixing this with :meth:`stream` forfeits the
+        events of batches advanced this way.
         """
         if not self._run.finished:
             self._run.step()

@@ -1,0 +1,54 @@
+"""Async multi-tenant serving: one detector, many concurrent searches.
+
+The event-loop front end over the library's resumable search steppers:
+:class:`QueryServer` runs many :class:`~repro.query.session.QuerySession`
+s concurrently, :class:`DetectorBatcher` coalesces their pending frame
+requests into fused detector batches (the cross-session batching the
+ROADMAP's async-serving item calls for), and scheduling policies order
+admission and batch assembly. Entry points: ``engine.serve()`` for async
+code, ``engine.run_many`` for the blocking wrapper, ``repro serve`` for
+workload replay from the command line.
+"""
+
+from repro.serving.batcher import BatcherStats, DetectorBatcher
+from repro.serving.policies import (
+    SCHEDULING_POLICIES,
+    SchedulingPolicy,
+    make_scheduling_policy,
+    register_policy,
+)
+from repro.serving.server import (
+    LatencyStats,
+    QueryServer,
+    ServerConfig,
+    ServerStats,
+    SessionHandle,
+    TenantStats,
+    serve_sessions,
+)
+from repro.serving.workload import (
+    WorkloadItem,
+    load_workload,
+    replay,
+    save_workload,
+)
+
+__all__ = [
+    "BatcherStats",
+    "DetectorBatcher",
+    "LatencyStats",
+    "QueryServer",
+    "SCHEDULING_POLICIES",
+    "SchedulingPolicy",
+    "ServerConfig",
+    "ServerStats",
+    "SessionHandle",
+    "TenantStats",
+    "WorkloadItem",
+    "load_workload",
+    "make_scheduling_policy",
+    "register_policy",
+    "replay",
+    "save_workload",
+    "serve_sessions",
+]

@@ -1,0 +1,120 @@
+"""Pluggable scheduling policies for the query server.
+
+A policy decides *order*, never *outcome*: sessions are independent (each
+owns its environment, discriminator and RNG streams) and detection is a
+pure function of ``(seed, video, frame)``, so any service order produces
+the same per-session traces. What a policy does change is latency shape —
+which tenant's work is served first when the detector (the scarce shared
+resource) is contended. Two decision points consult the policy:
+
+* **admission** — which queued session is admitted when an in-flight slot
+  frees up;
+* **batch assembly** — the order in which pending detector requests are
+  packed into fused batches, which matters when ``max_batch_size`` forces
+  a flush to be split across several detector calls.
+
+Policies produce sort keys over :class:`~repro.serving.server
+.SessionHandle` objects (ascending; ties broken by submission sequence,
+so every policy is FIFO among equals and starvation-free for finite
+sessions). Third-party policies register with :func:`register_policy`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Union
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "SCHEDULING_POLICIES",
+    "SchedulingPolicy",
+    "make_scheduling_policy",
+    "register_policy",
+]
+
+
+class SchedulingPolicy:
+    """Base class: orders session handles for admission and batching."""
+
+    name = "policy"
+
+    def key(self, handle) -> tuple:
+        """Ascending sort key for ``handle`` (lower = served earlier).
+
+        ``handle`` exposes at least ``seq`` (submission sequence number),
+        ``tenant``, ``num_samples`` (frames processed so far) and
+        ``deadline`` (absolute event-loop time, or None).
+        """
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """First-come, first-served: submission order, lap by lap.
+
+    Because every session awaiting detection resumes on the same fused
+    flush, free-running sessions naturally interleave one step per lap —
+    the behaviour the old ``run_many`` loop hand-coded.
+    """
+
+    name = "round_robin"
+
+    def key(self, handle) -> tuple:
+        return (handle.seq,)
+
+
+class FewestSamplesFirstPolicy(SchedulingPolicy):
+    """Serve the session that has processed the fewest frames first.
+
+    A shortest-effort-first heuristic: keeps cheap queries (few samples so
+    far, likely to finish soon) ahead of long scans, shrinking mean
+    turnaround under mixed workloads.
+    """
+
+    name = "fewest_samples"
+
+    def key(self, handle) -> tuple:
+        return (handle.num_samples, handle.seq)
+
+
+class DeadlinePolicy(SchedulingPolicy):
+    """Earliest-deadline-first; deadline-less sessions sort last."""
+
+    name = "deadline"
+
+    def key(self, handle) -> tuple:
+        deadline = handle.deadline
+        return (deadline if deadline is not None else math.inf, handle.seq)
+
+
+#: Registry of available policies (name -> zero-argument factory).
+SCHEDULING_POLICIES: Dict[str, Callable[[], SchedulingPolicy]] = {}
+
+
+def register_policy(name: str, factory: Callable[[], SchedulingPolicy]) -> None:
+    """Register a scheduling policy under ``name`` (duplicates rejected)."""
+    if name in SCHEDULING_POLICIES:
+        raise ConfigError(f"scheduling policy {name!r} is already registered")
+    SCHEDULING_POLICIES[name] = factory
+
+
+register_policy("round_robin", RoundRobinPolicy)
+register_policy("fewest_samples", FewestSamplesFirstPolicy)
+register_policy("deadline", DeadlinePolicy)
+
+
+def make_scheduling_policy(
+    spec: Union[str, SchedulingPolicy, None],
+) -> SchedulingPolicy:
+    """Resolve a policy spec (name, instance or None) to a policy object."""
+    if spec is None:
+        return RoundRobinPolicy()
+    if isinstance(spec, SchedulingPolicy):
+        return spec
+    factory = SCHEDULING_POLICIES.get(spec)
+    if factory is None:
+        raise ConfigError(
+            f"unknown scheduling policy {spec!r}; "
+            f"available: {sorted(SCHEDULING_POLICIES)}"
+        )
+    return factory()

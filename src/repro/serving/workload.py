@@ -1,0 +1,142 @@
+"""Workload files: replayable multi-tenant query arrival schedules.
+
+A workload is a JSON description of queries with arrival times — the
+serving analogue of an experiment config. ``repro serve`` replays one
+against a dataset; :func:`replay` does the same inside any event loop.
+
+Format (either a bare list or ``{"queries": [...]}``)::
+
+    {
+      "queries": [
+        {"object": "person", "limit": 5, "arrival": 0.0, "tenant": "a"},
+        {"object": "car", "recall": 0.5, "arrival": 0.25, "tenant": "b",
+         "method": "random", "run_seed": 3, "deadline": 2.0}
+      ]
+    }
+
+Per-item keys: ``object`` (required class name); ``limit`` / ``recall`` /
+``frame_budget`` / ``cost_budget`` (stopping regime, as in the CLI);
+``arrival`` (seconds since replay start, default 0); ``method``,
+``run_seed``, ``tenant``, ``deadline`` (seconds after arrival — only the
+``"deadline"`` policy reads it), ``batch_size``. Unknown keys are
+rejected so a typo cannot silently run a misconfigured workload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.query.query import DistinctObjectQuery
+
+__all__ = ["WorkloadItem", "load_workload", "replay", "save_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadItem:
+    """One scheduled query submission."""
+
+    object: str
+    arrival: float = 0.0
+    limit: Optional[int] = None
+    recall: Optional[float] = None
+    frame_budget: Optional[int] = None
+    cost_budget: Optional[float] = None
+    method: str = "exsample"
+    run_seed: int = 0
+    tenant: str = "default"
+    deadline: Optional[float] = None
+    batch_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ConfigError("arrival must be >= 0")
+
+    def query(self) -> DistinctObjectQuery:
+        return DistinctObjectQuery(
+            self.object,
+            limit=self.limit,
+            recall_target=self.recall,
+            frame_budget=self.frame_budget,
+            cost_budget=self.cost_budget,
+        )
+
+
+def load_workload(path: str) -> List[WorkloadItem]:
+    """Parse a workload file into items (arrival order preserved)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        payload = payload.get("queries")
+    if not isinstance(payload, list):
+        raise ConfigError(
+            "workload must be a JSON list of queries or an object with a "
+            "'queries' list"
+        )
+    items = []
+    valid = set(WorkloadItem.__dataclass_fields__)
+    for index, raw in enumerate(payload):
+        if not isinstance(raw, dict):
+            raise ConfigError(f"workload entry {index} is not an object")
+        unknown = set(raw) - valid
+        if unknown:
+            raise ConfigError(
+                f"workload entry {index} has unknown keys {sorted(unknown)}; "
+                f"valid keys: {sorted(valid)}"
+            )
+        if "object" not in raw:
+            raise ConfigError(f"workload entry {index} needs an 'object'")
+        items.append(WorkloadItem(**raw))
+    return items
+
+
+def save_workload(path: str, items: Sequence[WorkloadItem]) -> None:
+    """Write items back out as a workload file."""
+    payload = {
+        "queries": [
+            {k: v for k, v in asdict(item).items() if v is not None}
+            for item in items
+        ]
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+async def replay(server, items: Sequence[WorkloadItem], time_scale: float = 1.0):
+    """Submit a workload to ``server`` honouring arrival times.
+
+    ``time_scale`` stretches (or, at 0, ignores) the arrival schedule:
+    ``0`` submits everything as fast as admission allows — the right mode
+    for tests and benchmarks. Submission happens in arrival order, but
+    the returned handles align with ``items`` (``handles[i]`` belongs to
+    ``items[i]`` however the list was ordered); callers typically follow
+    with ``await server.drain()``.
+    """
+    items = list(items)
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    handles: "List[object | None]" = [None] * len(items)
+    order = sorted(range(len(items)), key=lambda i: items[i].arrival)
+    for index in order:
+        item = items[index]
+        if time_scale > 0:
+            delay = item.arrival * time_scale - (loop.time() - start)
+            if delay > 0:
+                await asyncio.sleep(delay)
+        handles[index] = await server.submit(
+            item.query(),
+            method=item.method,
+            run_seed=item.run_seed,
+            tenant=item.tenant,
+            deadline=item.deadline,
+            **(
+                {"batch_size": item.batch_size}
+                if item.batch_size is not None
+                else {}
+            ),
+        )
+    return handles

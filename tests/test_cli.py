@@ -78,6 +78,68 @@ class TestCompare:
             assert method in text
 
 
+class TestServe:
+    def test_workload_replay(self, tmp_path):
+        workload = tmp_path / "wl.json"
+        workload.write_text(
+            """
+            {"queries": [
+              {"object": "person", "limit": 2, "tenant": "a", "batch_size": 4},
+              {"object": "person", "limit": 2, "run_seed": 1, "tenant": "b",
+               "batch_size": 4},
+              {"object": "traffic light", "limit": 2, "tenant": "a",
+               "arrival": 0.01, "batch_size": 4}
+            ]}
+            """
+        )
+        code, text = run_cli(
+            "serve", "--dataset", "dashcam", "--workload", str(workload),
+            "--scale", "0.02", "--time-scale", "0",
+        )
+        assert code == 0
+        assert "workload replay" in text
+        assert "finished" in text
+        assert "detector:" in text
+        assert "tenant a:" in text and "tenant b:" in text
+
+    def test_invalid_entries_reported_cleanly(self, tmp_path):
+        workload = tmp_path / "wl.json"
+        workload.write_text(
+            """
+            {"queries": [
+              {"object": "person", "limit": 2},
+              {"object": "unicorn", "limit": 1},
+              {"object": "person", "method": "frobnicate"},
+              {"object": "person", "limit": 1, "batch_size": 0}
+            ]}
+            """
+        )
+        code, text = run_cli(
+            "serve", "--dataset", "dashcam", "--workload", str(workload),
+        )
+        assert code == 1
+        assert "unicorn" in text
+        assert "frobnicate" in text
+        assert "batch_size" in text
+        assert "workload replay" not in text  # nothing was served
+
+    def test_empty_workload(self, tmp_path):
+        workload = tmp_path / "wl.json"
+        workload.write_text('{"queries": []}')
+        code, text = run_cli(
+            "serve", "--dataset", "dashcam", "--workload", str(workload),
+        )
+        assert code == 0
+        assert "empty" in text
+
+    def test_policy_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--dataset", "dashcam", "--workload", "x.json",
+                 "--policy", "lifo"]
+            )
+
+
 class TestExperimentAndAblation:
     def test_fig6_experiment_runs(self, monkeypatch):
         # fig6 is the cheapest full-artifact harness; shrink it further by

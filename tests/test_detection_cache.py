@@ -103,6 +103,75 @@ class TestDetectionCacheUnit:
         assert revived.info().requests == 0
 
 
+class TestPerScopeBreakdown:
+    def test_per_scope_hits_and_misses(self):
+        cache = DetectionCache()
+        cache.get(("scopeA", 0, 1, None))  # miss
+        cache.put(("scopeA", 0, 1, None), ["a"])
+        cache.get(("scopeA", 0, 1, None))  # hit
+        cache.get(("scopeB", 0, 1, None))  # miss (other detector)
+        info = cache.cache_info()
+        assert set(info.per_scope) == {"scopeA", "scopeB"}
+        assert (info.per_scope["scopeA"].hits,
+                info.per_scope["scopeA"].misses) == (1, 1)
+        assert info.per_scope["scopeA"].hit_rate == 0.5
+        assert (info.per_scope["scopeB"].hits,
+                info.per_scope["scopeB"].misses) == (0, 1)
+        # Totals equal the sum of the breakdown.
+        assert info.hits == sum(s.hits for s in info.per_scope.values())
+        assert info.misses == sum(s.misses for s in info.per_scope.values())
+
+    def test_unscoped_keys_fall_under_empty_scope(self):
+        cache = DetectionCache()
+        cache.get((0, 1, None))
+        info = cache.info()
+        assert info.per_scope[""].misses == 1
+
+    def test_contains_probe_leaves_counters_alone(self):
+        cache = DetectionCache()
+        cache.put(("s", 0, 1, None), ["a"])
+        assert ("s", 0, 1, None) in cache
+        assert ("s", 9, 9, None) not in cache
+        info = cache.info()
+        assert (info.hits, info.misses) == (0, 0)
+        assert info.per_scope == {}
+
+    def test_clear_and_pickle_reset_scope_counters(self):
+        cache = DetectionCache()
+        cache.get(("s", 0, 0, None))
+        cache.clear()
+        assert cache.info().per_scope == {}
+        cache.get(("s", 0, 0, None))
+        revived = pickle.loads(pickle.dumps(cache))
+        assert revived.info().per_scope == {}
+
+    def test_counters_consistent_under_interleaved_threads(self):
+        """The satellite's safety requirement: threaded lookups never lose
+        or double-count (the lock makes read-modify-write atomic)."""
+        import threading
+
+        cache = DetectionCache(policy="lru", capacity=64)
+        per_thread = 500
+
+        def worker(scope):
+            for i in range(per_thread):
+                key = (scope, 0, i % 8, None)
+                if cache.get(key) is None:
+                    cache.put(key, [i])
+
+        threads = [
+            threading.Thread(target=worker, args=(f"scope{t % 2}",))
+            for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        info = cache.info()
+        assert info.requests == 4 * per_thread
+        assert sum(s.requests for s in info.per_scope.values()) == info.requests
+
+
 class TestScopedKeys:
     """Every cache is scoped: one instance may serve several detectors."""
 

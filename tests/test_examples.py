@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     "chunk_tuning",
     "custom_dataset",
     "streaming_resume",
+    "async_serving",
 ]
 
 
