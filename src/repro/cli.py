@@ -11,6 +11,9 @@ Examples::
     python -m repro experiment table1 --full
     python -m repro ablation policy
     python -m repro serve --dataset dashcam --workload workload.json
+    python -m repro serve --dataset dashcam --listen 127.0.0.1:7070
+    python -m repro fleet --dataset dashcam --workload workload.json \
+        --shards 2 --placement hash_tenant
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from repro.query.engine import SEARCH_METHODS, QueryEngine
 from repro.query.metrics import time_to_recall
 from repro.query.query import DistinctObjectQuery
 from repro.query.session import BudgetExhausted, ResultFound
+from repro.serving.placement import PLACEMENT_POLICIES
 from repro.serving.policies import SCHEDULING_POLICIES
 from repro.utils.tables import ascii_table, format_duration
 from repro.video.datasets import DATASET_BUILDERS, make_dataset
@@ -119,13 +123,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="replay a workload file of queries against the async server",
+        help="replay a workload against the async server, or listen on a "
+             "socket (--listen) for wire-protocol clients",
     )
     serve.add_argument("--dataset", required=True, choices=sorted(DATASET_BUILDERS))
     serve.add_argument(
-        "--workload", required=True,
+        "--workload", default=None,
         help="JSON workload file: queries with arrival times "
-             "(see repro.serving.workload for the format)",
+             "(see repro.serving.workload for the format); required unless "
+             "--listen is given",
+    )
+    serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve the newline-delimited JSON wire protocol on this "
+             "address (port 0 binds an ephemeral port) until a client "
+             "sends the shutdown op, instead of replaying a workload",
     )
     serve.add_argument("--scale", type=float, default=0.05)
     serve.add_argument("--seed", type=int, default=0)
@@ -164,6 +176,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", default="unbounded",
         choices=("unbounded", "lru", "off", "shared"),
         help="detection memoization policy (results are unaffected)",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="replay a workload across a sharded fleet of server processes",
+    )
+    fleet.add_argument("--dataset", required=True, choices=sorted(DATASET_BUILDERS))
+    fleet.add_argument(
+        "--workload", required=True,
+        help="JSON workload file (items may pin a 'shard' or set "
+             "'pause_after'; see repro.serving.workload)",
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=2,
+        help="number of shard server processes",
+    )
+    fleet.add_argument(
+        "--placement", default="hash_tenant",
+        choices=sorted(PLACEMENT_POLICIES),
+        help="shard placement policy (traces are placement-independent)",
+    )
+    fleet.add_argument(
+        "--context", default=None,
+        choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method for shard processes "
+             "(default: REPRO_MP_CONTEXT or the platform default)",
+    )
+    fleet.add_argument("--scale", type=float, default=0.05)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--time-scale", type=float, default=0.0,
+        help="stretch factor for workload arrival times; 0 (default) "
+             "submits as fast as admission allows",
+    )
+    fleet.add_argument(
+        "--max-in-flight", type=int, default=8,
+        help="in-flight sessions per shard (router admission limit)",
+    )
+    fleet.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="router-side admission queue bound per shard",
+    )
+    fleet.add_argument(
+        "--policy", default="round_robin",
+        choices=sorted(SCHEDULING_POLICIES),
+        help="scheduling policy inside each shard server",
+    )
+    fleet.add_argument(
+        "--no-shared-cache", action="store_true",
+        help="give each shard a private detection cache instead of the "
+             "cross-process shared memo (results are unaffected)",
     )
 
     experiment = sub.add_parser(
@@ -371,27 +434,19 @@ def _apply_parallel_env(args) -> None:
         os.environ["REPRO_CACHE"] = args.cache
 
 
-def _cmd_serve(args, out) -> int:
-    """Replay a workload of timed query arrivals against a QueryServer."""
-    import asyncio
+def _workload_problems(items, dataset, dataset_name, n_shards=None):
+    """Validate workload entries against a dataset/registry up front.
 
-    from repro.serving import ServerConfig, load_workload, replay
-    from repro.serving.workload import WorkloadItem  # noqa: F401 - format doc
-
-    items = load_workload(args.workload)
-    if not items:
-        print("workload is empty; nothing to serve", file=out)
-        return 0
-    dataset = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    # Validate every entry against this dataset/registry up front: one bad
-    # item should be a clean per-item message before serving starts, not a
-    # traceback that abandons the sessions already in flight.
+    One bad item should be a clean per-item message before serving
+    starts, not a traceback that abandons the sessions already in
+    flight.
+    """
     problems = []
     for index, item in enumerate(items):
         if item.object not in dataset.classes:
             problems.append(
                 f"entry {index}: class {item.object!r} not in dataset "
-                f"{args.dataset!r} (available: {dataset.classes})"
+                f"{dataset_name!r} (available: {dataset.classes})"
             )
         if item.method not in SEARCH_METHODS:
             problems.append(
@@ -400,14 +455,45 @@ def _cmd_serve(args, out) -> int:
             )
         if item.batch_size is not None and item.batch_size < 1:
             problems.append(f"entry {index}: batch_size must be >= 1")
+        if (
+            n_shards is not None
+            and item.shard is not None
+            and item.shard >= n_shards
+        ):
+            problems.append(
+                f"entry {index}: pins shard {item.shard} but the fleet "
+                f"has {n_shards} shards"
+            )
         try:
             item.query()
         except ReproError as exc:
             problems.append(f"entry {index}: {exc}")
-    if problems:
-        for problem in problems:
-            print(f"invalid workload: {problem}", file=out)
+    return problems
+
+
+def _parse_listen(spec: str):
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ReproError(
+            f"--listen expects HOST:PORT, got {spec!r} (use port 0 for an "
+            "ephemeral port)"
+        )
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ReproError(f"--listen port must be an integer, got {port!r}") from exc
+
+
+def _cmd_serve(args, out) -> int:
+    """Replay a workload of timed query arrivals against a QueryServer."""
+    import asyncio
+
+    from repro.serving import ServerConfig, load_workload, replay
+
+    if (args.workload is None) == (args.listen is None):
+        print("serve needs exactly one of --workload or --listen", file=out)
         return 1
+    dataset = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
     engine = QueryEngine(dataset, seed=args.seed, detection_cache=args.cache)
     config = ServerConfig(
         max_in_flight=args.max_in_flight,
@@ -417,6 +503,35 @@ def _cmd_serve(args, out) -> int:
         policy=args.policy,
         batching=not args.no_batching,
     )
+    if args.listen is not None:
+        from repro.serving.net import serve_forever
+
+        host, port = _parse_listen(args.listen)
+
+        def _announce(bound_port: int) -> None:
+            print(
+                f"serving {args.dataset} on {host}:{bound_port} "
+                "(newline-delimited JSON; send {\"op\": \"shutdown\"} to stop)",
+                file=out,
+            )
+            if hasattr(out, "flush"):
+                out.flush()
+
+        asyncio.run(
+            serve_forever(
+                engine, host=host, port=port, config=config, ready=_announce
+            )
+        )
+        return 0
+    items = load_workload(args.workload)
+    if not items:
+        print("workload is empty; nothing to serve", file=out)
+        return 0
+    problems = _workload_problems(items, dataset, args.dataset)
+    if problems:
+        for problem in problems:
+            print(f"invalid workload: {problem}", file=out)
+        return 1
 
     async def _run():
         server = engine.serve(config=config)
@@ -452,6 +567,81 @@ def _cmd_serve(args, out) -> int:
         print(
             f"FAILED {handle.tenant}/{handle.query.class_name}: "
             f"{handle.error}",
+            file=out,
+        )
+    return 1 if failed else 0
+
+
+def _cmd_fleet(args, out) -> int:
+    """Replay a workload across a sharded fleet of server processes."""
+    from repro.serving import FleetConfig, ServerConfig, load_workload
+    from repro.serving.fleet import run_fleet
+
+    items = load_workload(args.workload)
+    if not items:
+        print("workload is empty; nothing to serve", file=out)
+        return 0
+    dataset = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    problems = _workload_problems(
+        items, dataset, args.dataset, n_shards=args.shards
+    )
+    if problems:
+        for problem in problems:
+            print(f"invalid workload: {problem}", file=out)
+        return 1
+    config = FleetConfig(
+        n_shards=args.shards,
+        placement=args.placement,
+        context=args.context,
+        shared_cache=not args.no_shared_cache,
+        queue_capacity=args.queue_capacity,
+        server=ServerConfig(
+            max_in_flight=args.max_in_flight,
+            policy=args.policy,
+        ),
+    )
+    summaries, stats = run_fleet(
+        dataset,
+        items,
+        config=config,
+        engine_seed=args.seed,
+        time_scale=args.time_scale,
+    )
+    rows = []
+    for summary in summaries:
+        rows.append(
+            (
+                summary["tenant"],
+                summary["object"],
+                summary["method"],
+                summary["shard"],
+                summary["num_results"]
+                if summary["state"] == "finished"
+                else "-",
+                summary["num_samples"],
+                summary["state"]
+                + (f" (moved x{summary['migrations']})"
+                   if summary["migrations"] else ""),
+            )
+        )
+    print(
+        ascii_table(
+            ["tenant", "object", "method", "shard", "results", "frames",
+             "state"],
+            rows,
+            title=(
+                f"fleet replay: {args.workload} over {args.dataset} "
+                f"({args.shards} shards, {args.placement})"
+            ),
+        ),
+        file=out,
+    )
+    print(stats.describe(), file=out)
+    failed = [s for s in summaries if s["state"] == "failed"]
+    for summary in failed:
+        print(
+            f"FAILED {summary['tenant']}/{summary['object']}: "
+            f"{summary['error']}: {summary['message']}",
             file=out,
         )
     return 1 if failed else 0
@@ -506,6 +696,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_compare(args, out)
     if args.command == "serve":
         return _cmd_serve(args, out)
+    if args.command == "fleet":
+        return _cmd_fleet(args, out)
     if args.command == "experiment":
         return _cmd_experiment(args, out)
     if args.command == "ablation":

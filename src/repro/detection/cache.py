@@ -98,6 +98,40 @@ class CacheInfo:
         )
 
 
+def merge_cache_infos(infos, policy: Optional[str] = None) -> CacheInfo:
+    """Sum several :class:`CacheInfo` snapshots into one fleet-level view.
+
+    Hit/miss totals and the per-scope breakdowns add across processes;
+    ``size`` takes the maximum rather than the sum, because processes
+    sharing one store (the fleet's :class:`~repro.parallel.shm
+    .SharedDetectionCache`) each report the same entries — summing would
+    count every row once per shard. ``capacity`` survives only when every
+    snapshot agrees on it.
+    """
+    infos = [info for info in infos if info is not None]
+    if not infos:
+        return CacheInfo(policy=policy or "none", hits=0, misses=0,
+                         size=0, capacity=None)
+    scopes: Dict[str, List[int]] = {}
+    for info in infos:
+        for scope, counts in info.per_scope.items():
+            entry = scopes.setdefault(scope, [0, 0])
+            entry[0] += counts.hits
+            entry[1] += counts.misses
+    capacities = {info.capacity for info in infos}
+    return CacheInfo(
+        policy=policy or infos[0].policy,
+        hits=sum(info.hits for info in infos),
+        misses=sum(info.misses for info in infos),
+        size=max(info.size for info in infos),
+        capacity=capacities.pop() if len(capacities) == 1 else None,
+        per_scope={
+            scope: ScopeCacheInfo(hits=h, misses=m)
+            for scope, (h, m) in scopes.items()
+        },
+    )
+
+
 class DetectionCache:
     """Memo table for per-frame detection lists.
 

@@ -40,3 +40,14 @@ class SolverError(ReproError):
 class ServerOverloadedError(ReproError):
     """A query server's admission queue is full and the caller asked not
     to wait (``submit(..., wait=False)``)."""
+
+
+class ServerDrainingError(ReproError):
+    """A query server is draining: it no longer admits new sessions but
+    finishes (or checkpoints) the ones already accepted. Retry against
+    another server — a fleet router does this automatically."""
+
+
+class ProtocolError(ReproError):
+    """A wire-protocol frame was malformed or violated the protocol
+    (unknown op, missing field, undecodable JSON)."""

@@ -48,6 +48,7 @@ serves the moment any one worker exits.
 from __future__ import annotations
 
 import atexit
+import os
 import pickle
 import struct
 import uuid
@@ -57,7 +58,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.detection.cache import CacheInfo, CacheKey, DetectionCache
+from repro.detection.cache import (
+    CacheInfo,
+    CacheKey,
+    DetectionCache,
+    ScopeCacheInfo,
+)
 from repro.errors import ConfigError
 
 __all__ = [
@@ -256,6 +262,17 @@ atexit.register(_close_all_stores)
 _MANAGER = None
 _PROCESS_CACHE: Optional["SharedDetectionCache"] = None
 
+#: Reserved first element of in-store counter rows; detection keys are
+#: ``(scope_digest, video, frame, class_filter)`` tuples whose scope is a
+#: blake2 hex digest, so this sentinel can never collide with one.
+_COUNTERS_PREFIX = "__repro_counters__"
+
+
+def _is_counter_key(key) -> bool:
+    return (
+        isinstance(key, tuple) and len(key) == 2 and key[0] == _COUNTERS_PREFIX
+    )
+
 
 def _manager():
     """The process's lazily started ``multiprocessing.Manager`` server."""
@@ -310,7 +327,11 @@ class SharedDetectionCache(DetectionCache):
         self._scope_misses = {}
 
     def __len__(self) -> int:
-        return len(self._store)
+        # Counter rows (see publish_counters) live in the same store but
+        # are bookkeeping, not memoized detections.
+        return sum(
+            1 for key in self._store.keys() if not _is_counter_key(key)
+        )
 
     def get(self, key: CacheKey):
         """The cached detection list for ``key``, or None on a miss."""
@@ -343,9 +364,77 @@ class SharedDetectionCache(DetectionCache):
             policy=self.policy,
             hits=self.hits,
             misses=self.misses,
-            size=len(self._store),
+            size=len(self),
             capacity=None,
             per_scope=self._per_scope(),
+        )
+
+    # -- cross-process counter aggregation --------------------------------
+
+    def publish_counters(self) -> None:
+        """Publish this process's local counters into the shared store.
+
+        Hit/miss counters are deliberately process-local (reading them
+        costs no IPC), which leaves a fleet blind: each shard process
+        knows only its own share of the per-scope breakdown. Publishing
+        writes this process's cumulative counters under a reserved
+        per-process key — one small row, overwritten in place on every
+        call — so any process holding the store can assemble the
+        fleet-wide picture with :meth:`aggregate_info`. Shard servers
+        publish whenever they answer a ``stats`` frame.
+        """
+        if not hasattr(self, "_counter_token"):
+            self._counter_token = f"{os.getpid()}:{uuid.uuid4().hex[:8]}"
+        scopes = set(self._scope_hits) | set(self._scope_misses)
+        payload = {
+            scope: (
+                self._scope_hits.get(scope, 0),
+                self._scope_misses.get(scope, 0),
+            )
+            for scope in scopes
+        }
+        self._store[(_COUNTERS_PREFIX, self._counter_token)] = pickle.dumps(
+            (self.hits, self.misses, payload),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    def aggregate_info(self) -> CacheInfo:
+        """Fleet-wide :class:`CacheInfo`: every process's published counters.
+
+        Sums the counter rows of all processes that have called
+        :meth:`publish_counters` (this process's live counters are
+        published first, so they are always included). ``size`` counts
+        the shared detection rows once — they are one store, however many
+        processes read it. Counter rows are fetched individually so the
+        memoized detection blobs never cross the manager connection.
+        """
+        self.publish_counters()
+        hits = misses = size = 0
+        scopes: Dict[str, List[int]] = {}
+        for key in self._store.keys():
+            if not _is_counter_key(key):
+                size += 1
+                continue
+            blob = self._store.get(key)
+            if blob is None:
+                continue
+            row_hits, row_misses, per_scope = pickle.loads(blob)
+            hits += row_hits
+            misses += row_misses
+            for scope, (scope_hits, scope_misses) in per_scope.items():
+                entry = scopes.setdefault(scope, [0, 0])
+                entry[0] += scope_hits
+                entry[1] += scope_misses
+        return CacheInfo(
+            policy=self.policy,
+            hits=hits,
+            misses=misses,
+            size=size,
+            capacity=None,
+            per_scope={
+                scope: ScopeCacheInfo(hits=h, misses=m)
+                for scope, (h, m) in scopes.items()
+            },
         )
 
     def __getstate__(self) -> dict:

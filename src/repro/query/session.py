@@ -29,6 +29,7 @@ Checkpoints use :mod:`pickle` under the hood: restore only checkpoints you
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from collections import deque
 from dataclasses import dataclass
@@ -38,7 +39,12 @@ from repro.core.sampler import SearchRun, SearchStep, SearchTrace
 from repro.errors import QueryError
 
 #: Version tag embedded in checkpoints; bumped on incompatible layout changes.
-CHECKPOINT_VERSION = 1
+#: v1 pickled the session state as one flat dict; v2 wraps the pickled
+#: state in an envelope carrying a payload digest and summary metadata, so
+#: checkpoints shipped over a wire (base64 frames between fleet shards) can
+#: be integrity-checked and routed without deserialising the search state.
+#: :meth:`QuerySession.restore` accepts both.
+CHECKPOINT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -87,6 +93,88 @@ class BudgetExhausted:
 
 #: Everything :meth:`QuerySession.stream` can yield.
 SessionEvent = Union[SampleBatch, ResultFound, BudgetExhausted]
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Envelope metadata of a checkpoint, readable without restoring it.
+
+    Returned by :func:`peek_checkpoint`. ``method``/``num_samples``/
+    ``num_results``/``total_cost`` describe the session at checkpoint
+    time; ``payload_bytes`` is the size of the pickled search state. A
+    fleet router uses this to log and account a migration without paying
+    the deserialisation of chunk statistics and track stores.
+    """
+
+    version: int
+    method: str
+    num_samples: int
+    num_results: int
+    total_cost: float
+    payload_bytes: int
+
+
+def peek_checkpoint(source: "Union[bytes, bytearray, str]") -> CheckpointInfo:
+    """Read a checkpoint's envelope metadata without restoring the session.
+
+    Only the outer envelope is decoded; the search-state payload stays an
+    opaque byte string (its digest is still verified, so a truncated or
+    corrupted wire transfer is caught here, before any restore attempt).
+    v1 checkpoints carry no envelope — peeking one raises
+    :class:`~repro.errors.QueryError`; restore them directly instead.
+    """
+    envelope = _load_envelope(source)
+    if envelope["version"] < 2:
+        raise QueryError(
+            "v1 checkpoints carry no peekable envelope; "
+            "use QuerySession.restore()"
+        )
+    meta = envelope["meta"]
+    return CheckpointInfo(
+        version=envelope["version"],
+        method=meta["method"],
+        num_samples=meta["num_samples"],
+        num_results=meta["num_results"],
+        total_cost=meta["total_cost"],
+        payload_bytes=len(envelope["payload"]),
+    )
+
+
+def _payload_digest(payload: bytes) -> str:
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+def _load_envelope(source: "Union[bytes, bytearray, str]") -> dict:
+    """Decode checkpoint bytes (or a file path) into the envelope dict.
+
+    For v2 envelopes the payload digest is verified; v1 flat dicts are
+    returned as-is (their ``run`` is already materialised).
+    """
+    if isinstance(source, (bytes, bytearray)):
+        blob = bytes(source)
+    else:
+        with open(source, "rb") as handle:
+            blob = handle.read()
+    try:
+        state = pickle.loads(blob)
+    except Exception as exc:
+        raise QueryError(f"could not decode session checkpoint: {exc}") from exc
+    if not isinstance(state, dict) or "version" not in state:
+        raise QueryError("not a QuerySession checkpoint")
+    version = state["version"]
+    if version not in (1, CHECKPOINT_VERSION):
+        raise QueryError(
+            f"checkpoint version {version} is not supported "
+            f"(this library reads versions 1 and {CHECKPOINT_VERSION})"
+        )
+    if version >= 2:
+        digest = _payload_digest(state["payload"])
+        if digest != state["digest"]:
+            raise QueryError(
+                "checkpoint payload digest mismatch: the blob was "
+                "corrupted in transit or storage"
+            )
+    return state
 
 
 class QuerySession:
@@ -286,16 +374,29 @@ class QuerySession:
         store, cost model) and the partial trace. Events produced but not
         yet consumed from :meth:`stream` are preserved too.
         """
-        state = {
+        payload = pickle.dumps(
+            {
+                "query": self.query,
+                "method": self.method,
+                "gt_count": self.gt_count,
+                "run": self._run,
+                "pending": list(self._pending),
+                "end_emitted": self._end_emitted,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        envelope = {
             "version": CHECKPOINT_VERSION,
-            "query": self.query,
-            "method": self.method,
-            "gt_count": self.gt_count,
-            "run": self._run,
-            "pending": list(self._pending),
-            "end_emitted": self._end_emitted,
+            "meta": {
+                "method": self.method,
+                "num_samples": self.num_samples,
+                "num_results": self.num_results,
+                "total_cost": self.total_cost,
+            },
+            "digest": _payload_digest(payload),
+            "payload": payload,
         }
-        blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
         if path is not None:
             with open(path, "wb") as handle:
                 handle.write(blob)
@@ -303,23 +404,21 @@ class QuerySession:
 
     @staticmethod
     def restore(source: "Union[bytes, bytearray, str]") -> "QuerySession":
-        """Revive a session from :meth:`checkpoint` bytes or a file path."""
-        if isinstance(source, (bytes, bytearray)):
-            blob = bytes(source)
+        """Revive a session from :meth:`checkpoint` bytes or a file path.
+
+        Reads both v2 envelopes (digest-verified) and pre-envelope v1
+        blobs, so checkpoints written by earlier releases stay loadable.
+        """
+        envelope = _load_envelope(source)
+        if envelope["version"] >= 2:
+            try:
+                state = pickle.loads(envelope["payload"])
+            except Exception as exc:
+                raise QueryError(
+                    f"could not decode session checkpoint payload: {exc}"
+                ) from exc
         else:
-            with open(source, "rb") as handle:
-                blob = handle.read()
-        try:
-            state = pickle.loads(blob)
-        except Exception as exc:
-            raise QueryError(f"could not decode session checkpoint: {exc}") from exc
-        if not isinstance(state, dict) or "version" not in state:
-            raise QueryError("not a QuerySession checkpoint")
-        if state["version"] != CHECKPOINT_VERSION:
-            raise QueryError(
-                f"checkpoint version {state['version']} is not supported "
-                f"(expected {CHECKPOINT_VERSION})"
-            )
+            state = envelope
         session = QuerySession(
             state["run"],
             query=state["query"],

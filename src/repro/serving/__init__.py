@@ -11,6 +11,26 @@ workload replay from the command line.
 """
 
 from repro.serving.batcher import BatcherStats, DetectorBatcher
+from repro.serving.fleet import (
+    FleetConfig,
+    FleetHandle,
+    FleetRouter,
+    FleetStats,
+    replay_fleet,
+    run_fleet,
+)
+from repro.serving.net import (
+    FleetClient,
+    NetServer,
+    RemoteSession,
+    serve_forever,
+)
+from repro.serving.placement import (
+    PLACEMENT_POLICIES,
+    PlacementPolicy,
+    make_placement_policy,
+    register_placement,
+)
 from repro.serving.policies import (
     SCHEDULING_POLICIES,
     SchedulingPolicy,
@@ -28,6 +48,7 @@ from repro.serving.server import (
 )
 from repro.serving.workload import (
     WorkloadItem,
+    item_from_json,
     load_workload,
     replay,
     save_workload,
@@ -36,8 +57,17 @@ from repro.serving.workload import (
 __all__ = [
     "BatcherStats",
     "DetectorBatcher",
+    "FleetClient",
+    "FleetConfig",
+    "FleetHandle",
+    "FleetRouter",
+    "FleetStats",
     "LatencyStats",
+    "NetServer",
+    "PLACEMENT_POLICIES",
+    "PlacementPolicy",
     "QueryServer",
+    "RemoteSession",
     "SCHEDULING_POLICIES",
     "SchedulingPolicy",
     "ServerConfig",
@@ -45,10 +75,16 @@ __all__ = [
     "SessionHandle",
     "TenantStats",
     "WorkloadItem",
+    "item_from_json",
     "load_workload",
+    "make_placement_policy",
     "make_scheduling_policy",
+    "register_placement",
     "register_policy",
     "replay",
+    "replay_fleet",
+    "run_fleet",
     "save_workload",
+    "serve_forever",
     "serve_sessions",
 ]

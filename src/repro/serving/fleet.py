@@ -1,0 +1,824 @@
+"""The sharded serving fleet: shard processes, a router, live migration.
+
+One :class:`~repro.serving.server.QueryServer` scales until one CPU is
+saturated stepping sessions and running the (simulated) detector. The
+fleet layer scales past that point with processes, reusing the existing
+building blocks end to end:
+
+* each **shard** is a child process running a full
+  :class:`~repro.serving.net.NetServer` over its own
+  :class:`~repro.query.engine.QueryEngine`, built against the *same*
+  dataset and engine seed as the parent's — the dataset's world is
+  published once into shared memory (:func:`repro.parallel.shm
+  .publish_worlds`), so spawning a shard ships a ~100-byte handle, not
+  megabytes of world;
+* all shards adopt one :class:`~repro.parallel.shm
+  .SharedDetectionCache`, so a frame any shard detected is a hit for
+  every shard after it and :meth:`FleetRouter.stats` can aggregate
+  per-scope hit/miss counters fleet-wide;
+* the :class:`FleetRouter` fans submissions out over the shards through
+  a pluggable placement policy (:mod:`repro.serving.placement`), with
+  fleet-level admission control mirroring the single server's: at most
+  ``max_in_flight`` router-tracked sessions per shard, a bounded
+  router-side queue in front, and backpressure (or typed
+  :class:`~repro.errors.ServerOverloadedError`) beyond that.
+
+Correctness is placement-independent for the same reason serving is
+scheduling-independent: every shard serves the same repository with the
+same engine seed, sessions are isolated, and detection is pure — so a
+session's trace is byte-identical whichever shard runs it, and
+:func:`replay_fleet` of a workload is element-wise identical to solo
+``engine.run`` calls. That also makes **live migration** safe:
+:meth:`FleetRouter.migrate` pauses a session on its shard, ships the
+digest-verified checkpoint over the wire, and restores it on another
+shard; the merged trace is byte-identical to an unmigrated run.
+
+Typical use::
+
+    async def main():
+        router = await FleetRouter.launch(dataset, n_shards=2,
+                                          placement="hash_tenant")
+        try:
+            handles = await replay_fleet(router, load_workload(path),
+                                         time_scale=0.0)
+            outcomes = [await h.result() for h in handles]
+            print((await router.stats()).describe())
+        finally:
+            await router.shutdown()
+
+CLI: ``repro fleet --dataset ... --workload ... --shards 2``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import pickle
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.detection.cache import CacheInfo, ScopeCacheInfo
+from repro.errors import (
+    ConfigError,
+    QueryError,
+    ReproError,
+    ServerOverloadedError,
+)
+from repro.experiments.parallel import resolve_context
+from repro.parallel.shm import SharedDetectionCache, publish_worlds
+from repro.serving.net import FleetClient, _raise_typed, serve_forever
+from repro.serving.placement import PlacementPolicy, make_placement_policy
+from repro.serving.server import ServerConfig
+from repro.serving.workload import WorkloadItem
+
+__all__ = [
+    "FleetConfig",
+    "FleetHandle",
+    "FleetRouter",
+    "FleetStats",
+    "outcome_of",
+    "replay_fleet",
+    "run_fleet",
+]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs of a :class:`FleetRouter`.
+
+    ``server`` configures every shard's :class:`~repro.serving.server
+    .QueryServer`; its ``max_in_flight`` is also the router's per-shard
+    admission limit, so shards never queue internally — the fleet's one
+    waiting line is the router's, bounded at ``queue_capacity`` waiting
+    submissions per shard. ``placement`` names a policy from
+    :mod:`repro.serving.placement` (or is an instance). ``context``
+    picks the multiprocessing start method (None honours
+    ``REPRO_MP_CONTEXT`` / the platform default). ``shared_cache``
+    wires every shard into one cross-process detection memo.
+    """
+
+    n_shards: int = 2
+    placement: Union[str, PlacementPolicy, None] = None
+    server: ServerConfig = field(default_factory=ServerConfig)
+    queue_capacity: int = 64
+    context: Optional[str] = None
+    shared_cache: bool = True
+    host: str = "127.0.0.1"
+    launch_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigError("n_shards must be >= 1")
+        if self.queue_capacity < 0:
+            raise ConfigError("queue_capacity must be >= 0")
+
+
+@dataclass(frozen=True)
+class _ShardSpec:
+    """Everything a shard child process needs to come up (must pickle)."""
+
+    index: int
+    dataset: object
+    engine_seed: int
+    cache: Optional[SharedDetectionCache]
+    server: ServerConfig
+    host: str
+
+
+def _shard_main(spec: _ShardSpec, conn) -> None:
+    """Child-process entry point: serve one shard until shutdown.
+
+    Module-level so spawn contexts can import it. Reports the bound
+    ephemeral port (or a startup error) through ``conn``, then serves
+    until a client sends the ``shutdown`` op.
+    """
+    import os
+
+    os.environ["REPRO_IN_WORKER"] = "1"
+    try:
+        if spec.cache is not None:
+            from repro.parallel.shm import adopt_shared_cache
+
+            adopt_shared_cache(spec.cache)
+        from repro.query.engine import QueryEngine
+
+        engine = QueryEngine(
+            spec.dataset,
+            seed=spec.engine_seed,
+            detection_cache=spec.cache if spec.cache is not None else "unbounded",
+        )
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        return
+    asyncio.run(
+        serve_forever(
+            engine,
+            host=spec.host,
+            port=0,
+            config=spec.server,
+            ready=lambda port: conn.send(("ok", port)),
+        )
+    )
+
+
+class _Shard:
+    """Router-side record of one shard process."""
+
+    def __init__(self, index: int, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.port: Optional[int] = None
+        self.client: Optional[FleetClient] = None
+        #: Router-tracked sessions admitted to this shard and not yet
+        #: terminal — what placement policies see as load.
+        self.active = 0
+        #: Submissions waiting in this shard's router-side queue.
+        self.queued = 0
+        self.queue: "asyncio.Queue[FleetHandle]" = asyncio.Queue()
+
+
+class FleetHandle:
+    """The router-side face of one submitted (possibly migrating) session.
+
+    The fleet analogue of :class:`~repro.serving.server.SessionHandle`:
+    :meth:`wait` / :meth:`result` survive a live migration transparently
+    — they settle when the session reaches a terminal state that is not
+    a migration staging pause, on whichever shard it ends up.
+    """
+
+    def __init__(self, item: WorkloadItem, seq: int):
+        self.item = item
+        self.seq = seq
+        self.shard: Optional[int] = None
+        self.remote = None  # RemoteSession once admitted
+        self.migrations = 0
+        self._migrating = False
+        self._admitted: "asyncio.Future" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._settled: "asyncio.Future[dict]" = (
+            asyncio.get_running_loop().create_future()
+        )
+
+    @property
+    def tenant(self) -> str:
+        return self.item.tenant
+
+    @property
+    def done(self) -> bool:
+        return self._settled.done()
+
+    async def admitted(self) -> None:
+        """Wait until the session is accepted by a shard server."""
+        await asyncio.shield(self._admitted)
+
+    async def wait(self) -> str:
+        """Await the terminal state: 'finished', 'paused' or 'failed'."""
+        frame = await asyncio.shield(self._settled)
+        return frame["state"]
+
+    async def terminal(self) -> dict:
+        return await asyncio.shield(self._settled)
+
+    async def result(self):
+        """Await completion and return the session's QueryOutcome."""
+        frame = await self.terminal()
+        if frame["state"] == "failed":
+            _raise_typed(frame)
+        if frame["state"] == "paused":
+            raise QueryError(
+                "session was paused before finishing; migrate or restore "
+                "it to resume"
+            )
+        return pickle.loads(base64.b64decode(frame["outcome"]))
+
+    def _settle(self, frame: dict) -> None:
+        if not self._settled.done():
+            self._settled.set_result(frame)
+
+    def _fail(self, exc: BaseException) -> None:
+        if not self._admitted.done():
+            self._admitted.set_exception(exc)
+        if not self._settled.done():
+            self._settled.set_exception(exc)
+
+
+def _cache_info_from_json(raw: Optional[dict]) -> Optional[CacheInfo]:
+    """Rebuild a :class:`CacheInfo` from its wire (asdict) form."""
+    if raw is None:
+        return None
+    return CacheInfo(
+        policy=raw["policy"],
+        hits=raw["hits"],
+        misses=raw["misses"],
+        size=raw["size"],
+        capacity=raw["capacity"],
+        per_scope={
+            scope: ScopeCacheInfo(**counts)
+            for scope, counts in raw.get("per_scope", {}).items()
+        },
+    )
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Point-in-time aggregate of every shard's :class:`ServerStats`.
+
+    ``per_shard`` keeps each shard's full stats snapshot (as the JSON
+    primitives the wire carries); the scalar fields are their sums.
+    ``cache`` is the fleet-wide detection-cache view — with the shared
+    cache, per-scope hit/miss counters aggregated across shard processes
+    (:meth:`~repro.parallel.shm.SharedDetectionCache.aggregate_info`);
+    otherwise the per-shard snapshots merged.
+    """
+
+    shards: int
+    submitted: int
+    finished: int
+    paused: int
+    failed: int
+    in_flight: int
+    queued: int
+    detector_calls: int
+    detector_frames: int
+    migrations: int
+    per_shard: List[dict]
+    cache: Optional[CacheInfo] = None
+
+    def describe(self) -> str:
+        """A compact human-readable multi-line summary."""
+        lines = [
+            (
+                f"fleet: {self.shards} shards, "
+                f"{self.finished}/{self.submitted} sessions finished "
+                f"({self.paused} paused, {self.failed} failed, "
+                f"{self.in_flight} in flight, {self.queued} queued, "
+                f"{self.migrations} migrated)"
+            ),
+            (
+                f"detector: {self.detector_calls} calls, "
+                f"{self.detector_frames} frames across shards"
+            ),
+        ]
+        for index, stats in enumerate(self.per_shard):
+            lines.append(
+                f"shard {index}: {stats['finished']}/{stats['submitted']} "
+                f"finished, {stats['detector_calls']} detector calls, "
+                f"{stats['detector_frames']} frames"
+                + (" [draining]" if stats.get("draining") else "")
+            )
+        if self.cache is not None:
+            lines.append(f"cache: {self.cache}")
+            for scope in sorted(self.cache.per_scope):
+                counts = self.cache.per_scope[scope]
+                lines.append(
+                    f"  scope {scope[:12]}…: {counts.hits} hits / "
+                    f"{counts.misses} misses ({counts.hit_rate:.1%})"
+                )
+        return "\n".join(lines)
+
+
+class FleetRouter:
+    """Routes sessions across shard server processes.
+
+    Build with :meth:`launch` (async classmethod) and tear down with
+    :meth:`shutdown` — or use as an async context manager. Submission
+    follows the placement policy unless the item pins a ``shard``;
+    :meth:`migrate` moves a running session between shards with its
+    trace intact.
+    """
+
+    def __init__(self, config: FleetConfig):
+        self.config = config
+        self.placement = make_placement_policy(config.placement)
+        self.shards: List[_Shard] = []
+        self._stores = []  # SharedWorldStores owned by this fleet
+        self._cache: Optional[SharedDetectionCache] = None
+        self._capacity = asyncio.Condition()
+        self._handles: List[FleetHandle] = []
+        self._dispatchers: List[asyncio.Task] = []
+        self._watchers: "set[asyncio.Task]" = set()
+        self._migrations = 0
+        self._seq = 0
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    async def launch(
+        cls,
+        dataset,
+        n_shards: Optional[int] = None,
+        *,
+        config: Optional[FleetConfig] = None,
+        engine_seed: int = 0,
+        **overrides,
+    ) -> "FleetRouter":
+        """Spawn the shard processes and connect to them.
+
+        ``config`` or keyword overrides build a :class:`FleetConfig`
+        (``n_shards`` is accepted positionally for convenience). The
+        dataset's world is published to shared memory for the duration
+        of the fleet, so every start method ships it as a handle.
+        """
+        if config is not None and (overrides or n_shards is not None):
+            raise ConfigError("pass config= or keyword overrides, not both")
+        if config is None:
+            if n_shards is not None:
+                overrides["n_shards"] = n_shards
+            config = FleetConfig(**overrides)
+        router = cls(config)
+        try:
+            await router._start(dataset, engine_seed)
+        except BaseException:
+            await router.shutdown()
+            raise
+        return router
+
+    async def _start(self, dataset, engine_seed: int) -> None:
+        ctx = resolve_context(self.config.context)
+        if ctx is None:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context()
+        self._stores = publish_worlds([dataset.world])
+        if self.config.shared_cache:
+            # A private store per fleet: counters and entries belong to
+            # this fleet's lifetime, not the process-global singleton.
+            self._cache = SharedDetectionCache()
+        for index in range(self.config.n_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            spec = _ShardSpec(
+                index=index,
+                dataset=dataset,
+                engine_seed=engine_seed,
+                cache=self._cache,
+                server=self.config.server,
+                host=self.config.host,
+            )
+            process = ctx.Process(
+                target=_shard_main,
+                args=(spec, child_conn),
+                name=f"repro-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self.shards.append(_Shard(index, process, parent_conn))
+        for shard in self.shards:
+            status, payload = await self._await_startup(shard)
+            if status != "ok":
+                raise QueryError(
+                    f"shard {shard.index} failed to start: {payload}"
+                )
+            shard.port = payload
+            shard.client = await FleetClient.connect(self.config.host, payload)
+            self._dispatchers.append(
+                asyncio.create_task(self._dispatch(shard))
+            )
+
+    async def _await_startup(self, shard: _Shard):
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.launch_timeout
+        while True:
+            if shard.conn.poll(0):
+                try:
+                    return shard.conn.recv()
+                except EOFError:
+                    return (
+                        "error",
+                        "pipe closed before the shard reported a port "
+                        f"(exit code {shard.process.exitcode})",
+                    )
+            if not shard.process.is_alive():
+                return (
+                    "error",
+                    f"process exited with code {shard.process.exitcode} "
+                    "before reporting a port",
+                )
+            if loop.time() > deadline:
+                return ("error", "timed out waiting for the shard port")
+            await asyncio.sleep(0.01)
+
+    async def __aenter__(self) -> "FleetRouter":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Drain and stop every shard, reap the processes, free memory.
+
+        Graceful by construction: each shard server drains (finishing
+        accepted sessions) before its socket closes; processes that
+        still do not exit are terminated. Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for task in self._dispatchers:
+            task.cancel()
+        await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        for shard in self.shards:
+            if shard.client is None:
+                continue
+            try:
+                await shard.client.shutdown_server(drain=True)
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+            await shard.client.close()
+        for task in list(self._watchers):
+            task.cancel()
+        await asyncio.gather(*self._watchers, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + 10.0
+        for shard in self.shards:
+            while shard.process.is_alive() and loop.time() < deadline:
+                await asyncio.sleep(0.02)
+            if shard.process.is_alive():  # pragma: no cover - stuck child
+                shard.process.terminate()
+                shard.process.join(timeout=5)
+            shard.conn.close()
+        for handle in self._handles:
+            if not handle.done:
+                handle._fail(QueryError("fleet shut down"))
+        for store in self._stores:
+            store.close()
+        self._stores = []
+
+    # -- submission ----------------------------------------------------------
+
+    def _pick_shard(self, item: WorkloadItem) -> _Shard:
+        if item.shard is not None:
+            if item.shard >= len(self.shards):
+                raise ConfigError(
+                    f"item pins shard {item.shard} but the fleet has "
+                    f"{len(self.shards)} shards"
+                )
+            return self.shards[item.shard]
+        index = self.placement.choose(item, self.shards)
+        if not 0 <= index < len(self.shards):
+            raise ConfigError(
+                f"placement policy {self.placement.name!r} chose shard "
+                f"{index} of {len(self.shards)}"
+            )
+        return self.shards[index]
+
+    async def submit(
+        self, item: WorkloadItem, *, wait: bool = True
+    ) -> FleetHandle:
+        """Route one workload item to a shard; returns its handle.
+
+        Admission mirrors the single server's: if the chosen shard has a
+        free in-flight slot the submission dispatches immediately; else
+        it waits in that shard's bounded router-side queue. With the
+        queue full, ``wait=True`` backpressures (the coroutine waits for
+        queue room) and ``wait=False`` raises
+        :class:`~repro.errors.ServerOverloadedError`.
+        """
+        if self._closed:
+            raise QueryError("fleet router is shut down")
+        shard = self._pick_shard(item)
+        async with self._capacity:
+            while (
+                shard.queued >= self.config.queue_capacity
+                and shard.active >= self.config.server.max_in_flight
+            ):
+                if not wait:
+                    raise ServerOverloadedError(
+                        f"shard {shard.index} admission queue full "
+                        f"({shard.queued} waiting, {shard.active} in flight)"
+                    )
+                await self._capacity.wait()
+            handle = FleetHandle(item, self._seq)
+            self._seq += 1
+            handle.shard = shard.index
+            shard.queued += 1
+        self._handles.append(handle)
+        shard.queue.put_nowait(handle)
+        return handle
+
+    async def _dispatch(self, shard: _Shard) -> None:
+        """Per-shard dispatcher: admit queued handles in arrival order."""
+        while True:
+            handle = await shard.queue.get()
+            async with self._capacity:
+                while shard.active >= self.config.server.max_in_flight:
+                    await self._capacity.wait()
+                shard.active += 1
+                shard.queued -= 1
+                self._capacity.notify_all()
+            try:
+                remote = await shard.client.submit(
+                    handle.item,
+                    wait=True,
+                    pause_after=handle.item.pause_after,
+                )
+            except BaseException as exc:  # noqa: BLE001 - settles the handle
+                async with self._capacity:
+                    shard.active -= 1
+                    self._capacity.notify_all()
+                handle._fail(exc)
+                if isinstance(exc, asyncio.CancelledError):
+                    raise
+                continue
+            handle.remote = remote
+            if not handle._admitted.done():
+                handle._admitted.set_result(None)
+            self._watch(handle, remote, shard)
+
+    def _watch(self, handle: FleetHandle, remote, shard: _Shard) -> None:
+        task = asyncio.create_task(self._watch_remote(handle, remote, shard))
+        self._watchers.add(task)
+        task.add_done_callback(self._watchers.discard)
+
+    async def _watch_remote(
+        self, handle: FleetHandle, remote, shard: _Shard
+    ) -> None:
+        try:
+            frame = await remote.terminal()
+        except BaseException as exc:  # noqa: BLE001 - must settle the handle
+            async with self._capacity:
+                shard.active -= 1
+                self._capacity.notify_all()
+            if not handle._migrating:
+                handle._fail(
+                    QueryError("fleet shut down")
+                    if isinstance(exc, asyncio.CancelledError)
+                    else exc
+                )
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+            return
+        async with self._capacity:
+            shard.active -= 1
+            self._capacity.notify_all()
+        if handle._migrating and frame["state"] == "paused":
+            # A migration staging pause, not a terminal outcome: the
+            # migrate() coroutine is mid-move and will re-watch the
+            # session on its destination shard.
+            return
+        handle._migrating = False
+        handle._settle(frame)
+
+    # -- live migration ------------------------------------------------------
+
+    async def migrate(self, handle: FleetHandle, to_shard: int) -> FleetHandle:
+        """Move a running session to another shard, trace intact.
+
+        Pause on the source shard, ship the checkpoint over the wire,
+        restore on the destination (waiting for one of its in-flight
+        slots — migrations bypass the router queue). The session's
+        :meth:`FleetHandle.wait` / :meth:`~FleetHandle.result` callers
+        never notice: the handle settles with the outcome from the
+        destination shard, and determinism makes the merged trace
+        byte-identical to a solo run. Returns the same handle.
+        """
+        if not 0 <= to_shard < len(self.shards):
+            raise ConfigError(
+                f"cannot migrate to shard {to_shard} of {len(self.shards)}"
+            )
+        if handle.remote is None:
+            await handle.admitted()
+        target = self.shards[to_shard]
+        if handle.done:
+            # Already terminal. A paused session (e.g. staged with
+            # pause_after) is exactly what migration moves: re-open the
+            # handle so wait()/result() callers see the continuation.
+            if handle._settled.exception() is not None:
+                raise QueryError("cannot migrate a failed session")
+            frame = handle._settled.result()
+            if frame["state"] != "paused":
+                raise QueryError("session already reached a terminal state")
+            handle._settled = asyncio.get_running_loop().create_future()
+        else:
+            handle._migrating = True
+        try:
+            if handle._migrating:
+                await handle.remote.pause()
+                frame = await handle.remote.terminal()
+                if frame["state"] != "paused":
+                    # Finished (or failed) before the pause landed —
+                    # nothing left to move; settle with the genuine
+                    # outcome.
+                    handle._migrating = False
+                    handle._settle(frame)
+                    return handle
+            blob = await handle.remote.checkpoint()
+            async with self._capacity:
+                while target.active >= self.config.server.max_in_flight:
+                    await self._capacity.wait()
+                target.active += 1
+            try:
+                remote = await target.client.restore(
+                    blob,
+                    tenant=handle.item.tenant,
+                    deadline=handle.item.deadline,
+                    wait=True,
+                )
+            except BaseException:
+                async with self._capacity:
+                    target.active -= 1
+                    self._capacity.notify_all()
+                raise
+        except BaseException as exc:  # noqa: BLE001 - settles the handle
+            handle._migrating = False
+            if not handle.done:
+                handle._fail(exc)
+            raise
+        handle.remote = remote
+        handle.shard = to_shard
+        handle.migrations += 1
+        handle._migrating = False
+        self._migrations += 1
+        self._watch(handle, remote, target)
+        return handle
+
+    # -- introspection / draining --------------------------------------------
+
+    async def drain(self) -> None:
+        """Wait until every submitted session reached a terminal state."""
+        while True:
+            active = [h for h in self._handles if not h.done]
+            if not active:
+                return
+            await asyncio.gather(
+                *(h.terminal() for h in active), return_exceptions=True
+            )
+
+    async def stats(self) -> FleetStats:
+        """Aggregate fleet statistics (one ``stats`` round-trip per shard).
+
+        Each shard publishes its shared-cache counters while answering,
+        so the fleet-wide per-scope cache breakdown is current as of
+        this call.
+        """
+        per_shard = []
+        for shard in self.shards:
+            per_shard.append(await shard.client.stats())
+        if self._cache is not None:
+            cache = self._cache.aggregate_info()
+        else:
+            from repro.detection.cache import merge_cache_infos
+
+            infos = [
+                _cache_info_from_json(stats.get("cache"))
+                for stats in per_shard
+            ]
+            cache = (
+                merge_cache_infos(infos)
+                if any(info is not None for info in infos)
+                else None
+            )
+        return FleetStats(
+            shards=len(self.shards),
+            submitted=sum(s["submitted"] for s in per_shard),
+            finished=sum(s["finished"] for s in per_shard),
+            paused=sum(s["paused"] for s in per_shard),
+            failed=sum(s["failed"] for s in per_shard),
+            in_flight=sum(s["in_flight"] for s in per_shard),
+            queued=sum(s["queued"] for s in per_shard)
+            + sum(s.queued for s in self.shards),
+            detector_calls=sum(s["detector_calls"] for s in per_shard),
+            detector_frames=sum(s["detector_frames"] for s in per_shard),
+            migrations=self._migrations,
+            per_shard=per_shard,
+            cache=cache,
+        )
+
+
+async def replay_fleet(
+    router: FleetRouter,
+    items: Sequence[WorkloadItem],
+    time_scale: float = 1.0,
+) -> List[FleetHandle]:
+    """Submit a workload to the fleet honouring arrival times.
+
+    The fleet analogue of :func:`repro.serving.workload.replay`: items
+    are submitted in arrival order (``time_scale=0`` as fast as
+    admission allows), routed by the router's placement policy unless an
+    item pins a ``shard``; items with ``pause_after`` pause there and
+    stay checkpointable. The returned handles align with ``items``.
+    """
+    items = list(items)
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    handles: "List[Optional[FleetHandle]]" = [None] * len(items)
+    order = sorted(range(len(items)), key=lambda i: items[i].arrival)
+    for index in order:
+        item = items[index]
+        if time_scale > 0:
+            delay = item.arrival * time_scale - (loop.time() - start)
+            if delay > 0:
+                await asyncio.sleep(delay)
+        handles[index] = await router.submit(item)
+    return handles
+
+
+def run_fleet(
+    dataset,
+    items: Sequence[WorkloadItem],
+    *,
+    config: Optional[FleetConfig] = None,
+    engine_seed: int = 0,
+    time_scale: float = 0.0,
+    **overrides,
+):
+    """Blocking convenience: launch a fleet, replay a workload, tear down.
+
+    Returns ``(summaries, fleet_stats)``: one summary dict per item
+    (aligned with ``items``) carrying its routing and terminal facts —
+    ``tenant``, ``object``, ``method``, ``shard``, ``migrations``,
+    ``state``, ``num_samples``, ``num_results``, and for finished
+    sessions the base64-pickled outcome (unpickle with
+    :func:`outcome_of`). This is the loop behind ``repro fleet``.
+    """
+
+    async def _go():
+        router = await FleetRouter.launch(
+            dataset, config=config, engine_seed=engine_seed, **overrides
+        )
+        try:
+            handles = await replay_fleet(router, items, time_scale=time_scale)
+            summaries = []
+            for handle in handles:
+                try:
+                    frame = await handle.terminal()
+                except ReproError as exc:
+                    frame = {
+                        "state": "failed",
+                        "error": type(exc).__name__,
+                        "message": str(exc),
+                        "num_samples": 0,
+                        "num_results": 0,
+                    }
+                summaries.append(
+                    {
+                        "tenant": handle.item.tenant,
+                        "object": handle.item.object,
+                        "method": handle.item.method,
+                        "shard": handle.shard,
+                        "migrations": handle.migrations,
+                        "state": frame["state"],
+                        "num_samples": frame.get("num_samples", 0),
+                        "num_results": frame.get("num_results", 0),
+                        "error": frame.get("error"),
+                        "message": frame.get("message"),
+                        "outcome": frame.get("outcome"),
+                    }
+                )
+            stats = await router.stats()
+            return summaries, stats
+        finally:
+            await router.shutdown()
+
+    return asyncio.run(_go())
+
+
+def outcome_of(summary: dict):
+    """The :class:`~repro.query.engine.QueryOutcome` inside a finished
+    :func:`run_fleet` summary (None for paused/failed sessions)."""
+    if summary.get("state") != "finished" or summary.get("outcome") is None:
+        return None
+    return pickle.loads(base64.b64decode(summary["outcome"]))

@@ -44,7 +44,7 @@ import numpy as np
 
 from repro.core.environment import batched_observe
 from repro.detection.cache import CacheInfo
-from repro.errors import QueryError, ServerOverloadedError
+from repro.errors import QueryError, ServerDrainingError, ServerOverloadedError
 from repro.serving.batcher import BatcherStats, DetectorBatcher
 from repro.serving.policies import SchedulingPolicy, make_scheduling_policy
 
@@ -152,6 +152,7 @@ class ServerStats:
     failed: int
     in_flight: int
     queued: int
+    draining: bool
     detector_calls: int
     detector_frames: int
     batch_occupancy: float
@@ -169,6 +170,7 @@ class ServerStats:
                 f"sessions: {self.finished}/{self.submitted} finished "
                 f"({self.paused} paused, {self.failed} failed, "
                 f"{self.in_flight} in flight, {self.queued} queued)"
+                + (" [draining]" if self.draining else "")
             ),
             (
                 f"detector: {self.detector_calls} calls, "
@@ -224,6 +226,10 @@ class SessionHandle:
         self.state = "queued"
         self.steps = 0
         self.error: Optional[BaseException] = None
+        # Optional callable(handle, SearchStep) invoked after every
+        # fulfilled step — the hook the wire front-end uses to stream
+        # ResultFound/SampleBatch events without polling.
+        self.event_sink = None
         self.submitted_at: Optional[float] = None
         self.started_at: Optional[float] = None
         self.ended_at: Optional[float] = None
@@ -329,6 +335,7 @@ class QueryServer:
         self._tasks: Dict[SessionHandle, asyncio.Task] = {}
         self._direct_detector_calls = 0
         self._direct_detector_frames = 0
+        self._draining = False
 
     # -- submission ----------------------------------------------------------
 
@@ -343,6 +350,7 @@ class QueryServer:
         deadline: Optional[float] = None,
         pause_after: Optional[int] = None,
         wait: bool = True,
+        event_sink=None,
         **searcher_kwargs,
     ) -> SessionHandle:
         """Submit one query (or a pre-built/restored session) for serving.
@@ -354,8 +362,16 @@ class QueryServer:
         ``"deadline"`` policy; ``pause_after`` pauses the session after
         that many fulfilled steps (e.g. to checkpoint it mid-flight).
         ``wait=False`` turns queue backpressure into
-        :class:`~repro.errors.ServerOverloadedError`.
+        :class:`~repro.errors.ServerOverloadedError`. ``event_sink`` is
+        an optional callable ``(handle, SearchStep)`` invoked after every
+        fulfilled step — how the wire front-end streams events. A
+        draining server (see :meth:`drain_gracefully`) refuses new
+        sessions with :class:`~repro.errors.ServerDrainingError`.
         """
+        if self._draining:
+            raise ServerDrainingError(
+                "server is draining: it no longer admits new sessions"
+            )
         if (query is None) == (session is None):
             raise QueryError("submit exactly one of query= or session=")
         if session is None:
@@ -382,6 +398,7 @@ class QueryServer:
             deadline=None if deadline is None else loop.time() + deadline,
             pause_after=pause_after,
         )
+        handle.event_sink = event_sink
         self._seq += 1
         handle._register(loop)
         while len(self._waiting) >= self.config.queue_capacity and not (
@@ -396,6 +413,14 @@ class QueryServer:
             space: asyncio.Future = loop.create_future()
             self._space_waiters.append(space)
             await space
+            if self._draining:
+                # Drain began while this submitter waited for room; its
+                # session was never accepted, so refuse it like any other
+                # post-drain submission.
+                raise ServerDrainingError(
+                    "server began draining while this submission waited "
+                    "for admission-queue room"
+                )
         self._handles.append(handle)
         heapq.heappush(
             self._waiting, (self.policy.key(handle), handle.seq, handle)
@@ -410,6 +435,52 @@ class QueryServer:
             if not active:
                 return
             await asyncio.gather(*(h.wait() for h in active))
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain_gracefully` has begun."""
+        return self._draining
+
+    async def drain_gracefully(self, checkpoint: bool = False) -> None:
+        """Stop admitting, then settle every accepted session (graceful stop).
+
+        The teardown contract :meth:`shutdown` does not offer: nothing
+        accepted is dropped. New submissions (and submitters waiting in
+        backpressure, whose sessions were never accepted) are refused with
+        :class:`~repro.errors.ServerDrainingError`; everything already in
+        the admission queue or in flight is settled. With
+        ``checkpoint=False`` sessions run to completion; with
+        ``checkpoint=True`` in-flight sessions are paused at their next
+        batch boundary and queued ones are paused unstarted, leaving every
+        one of them checkpointable (the migration path of a fleet
+        teardown). Pending fused detector work is flushed so no session
+        stays blocked inside the batcher. Idempotent; returns when every
+        accepted session is terminal.
+        """
+        loop = asyncio.get_running_loop()
+        self._draining = True
+        while self._space_waiters:
+            waiter = self._space_waiters.popleft()
+            if not waiter.done():
+                waiter.set_exception(
+                    ServerDrainingError(
+                        "server began draining while this submission "
+                        "waited for admission-queue room"
+                    )
+                )
+        if checkpoint:
+            for handle in list(self._running):
+                handle.pause()
+            # Queued sessions were accepted but never started: pause them
+            # where they stand (a fresh session checkpoints fine) instead
+            # of spending detector budget on work the caller is stopping.
+            while self._waiting:
+                _, _, handle = heapq.heappop(self._waiting)
+                handle._finish("paused", loop)
+        # Serve detection already pending so blocked sessions can reach
+        # their next batch boundary (and see a pause request) promptly.
+        self._batcher.flush()
+        await self.drain()
 
     def evict_finished(self) -> int:
         """Forget terminal sessions; returns how many were evicted.
@@ -462,6 +533,7 @@ class QueryServer:
             failed=sum(h.state == "failed" for h in self._handles),
             in_flight=len(self._running),
             queued=len(self._waiting),
+            draining=self._draining,
             detector_calls=batcher.detector_calls + self._direct_detector_calls,
             detector_frames=batcher.frames + self._direct_detector_frames,
             batch_occupancy=batcher.mean_occupancy,
@@ -556,7 +628,9 @@ class QueryServer:
                     handle.detector_requests += 1
                     handle.detector_frames += len(request)
                     observations = env.ingest_batch(request, detections)
-                run.fulfil(proposal, observations)
+                step = run.fulfil(proposal, observations)
+                if handle.event_sink is not None:
+                    handle.event_sink(handle, step)
                 handle.steps += 1
                 if run.finished:
                     break

@@ -18,8 +18,17 @@ Per-item keys: ``object`` (required class name); ``limit`` / ``recall`` /
 ``frame_budget`` / ``cost_budget`` (stopping regime, as in the CLI);
 ``arrival`` (seconds since replay start, default 0); ``method``,
 ``run_seed``, ``tenant``, ``deadline`` (seconds after arrival — only the
-``"deadline"`` policy reads it), ``batch_size``. Unknown keys are
-rejected so a typo cannot silently run a misconfigured workload.
+``"deadline"`` policy reads it), ``batch_size``. Every key except
+``object`` has a back-compat default, so workload files written before a
+field existed keep loading unchanged. Unknown keys are rejected so a typo
+cannot silently run a misconfigured workload.
+
+Two keys exist for fleet replay (:mod:`repro.serving.fleet`) and are
+ignored by single-server :func:`replay`: ``shard`` pins an item to one
+shard index, overriding the placement policy (e.g. to reproduce a
+placement-sensitive incident), and ``pause_after`` pauses the session
+after that many fulfilled steps — checkpointable where it stands, the
+way a migration test stages a session mid-flight.
 """
 
 from __future__ import annotations
@@ -32,7 +41,13 @@ from typing import List, Optional, Sequence
 from repro.errors import ConfigError
 from repro.query.query import DistinctObjectQuery
 
-__all__ = ["WorkloadItem", "load_workload", "replay", "save_workload"]
+__all__ = [
+    "WorkloadItem",
+    "item_from_json",
+    "load_workload",
+    "replay",
+    "save_workload",
+]
 
 
 @dataclass(frozen=True)
@@ -50,10 +65,16 @@ class WorkloadItem:
     tenant: str = "default"
     deadline: Optional[float] = None
     batch_size: Optional[int] = None
+    shard: Optional[int] = None
+    pause_after: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
             raise ConfigError("arrival must be >= 0")
+        if self.shard is not None and self.shard < 0:
+            raise ConfigError("shard must be >= 0")
+        if self.pause_after is not None and self.pause_after < 1:
+            raise ConfigError("pause_after must be >= 1")
 
     def query(self) -> DistinctObjectQuery:
         return DistinctObjectQuery(
@@ -63,6 +84,28 @@ class WorkloadItem:
             frame_budget=self.frame_budget,
             cost_budget=self.cost_budget,
         )
+
+
+def item_from_json(raw: object, index: Optional[int] = None) -> WorkloadItem:
+    """Validate one JSON query object into a :class:`WorkloadItem`.
+
+    Shared by workload files and the wire protocol's ``submit`` op, so
+    both reject the same typos with the same message. ``index`` labels
+    errors when parsing a file.
+    """
+    where = "workload entry" if index is None else f"workload entry {index}"
+    if not isinstance(raw, dict):
+        raise ConfigError(f"{where} is not an object")
+    valid = set(WorkloadItem.__dataclass_fields__)
+    unknown = set(raw) - valid
+    if unknown:
+        raise ConfigError(
+            f"{where} has unknown keys {sorted(unknown)}; "
+            f"valid keys: {sorted(valid)}"
+        )
+    if "object" not in raw:
+        raise ConfigError(f"{where} needs an 'object'")
+    return WorkloadItem(**raw)
 
 
 def load_workload(path: str) -> List[WorkloadItem]:
@@ -76,21 +119,7 @@ def load_workload(path: str) -> List[WorkloadItem]:
             "workload must be a JSON list of queries or an object with a "
             "'queries' list"
         )
-    items = []
-    valid = set(WorkloadItem.__dataclass_fields__)
-    for index, raw in enumerate(payload):
-        if not isinstance(raw, dict):
-            raise ConfigError(f"workload entry {index} is not an object")
-        unknown = set(raw) - valid
-        if unknown:
-            raise ConfigError(
-                f"workload entry {index} has unknown keys {sorted(unknown)}; "
-                f"valid keys: {sorted(valid)}"
-            )
-        if "object" not in raw:
-            raise ConfigError(f"workload entry {index} needs an 'object'")
-        items.append(WorkloadItem(**raw))
-    return items
+    return [item_from_json(raw, index) for index, raw in enumerate(payload)]
 
 
 def save_workload(path: str, items: Sequence[WorkloadItem]) -> None:

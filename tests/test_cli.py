@@ -139,6 +139,89 @@ class TestServe:
                  "--policy", "lifo"]
             )
 
+    def test_requires_exactly_one_of_workload_and_listen(self, tmp_path):
+        code, text = run_cli("serve", "--dataset", "dashcam")
+        assert code == 1
+        assert "exactly one" in text
+        workload = tmp_path / "wl.json"
+        workload.write_text('{"queries": []}')
+        code, text = run_cli(
+            "serve", "--dataset", "dashcam", "--workload", str(workload),
+            "--listen", "127.0.0.1:0",
+        )
+        assert code == 1
+        assert "exactly one" in text
+
+    def test_listen_spec_validated(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="HOST:PORT"):
+            run_cli(
+                "serve", "--dataset", "dashcam", "--listen", "no-port-here",
+            )
+        with pytest.raises(ReproError, match="integer"):
+            run_cli(
+                "serve", "--dataset", "dashcam", "--listen", "127.0.0.1:x",
+            )
+
+
+class TestFleet:
+    def test_fleet_replay(self, tmp_path):
+        workload = tmp_path / "wl.json"
+        workload.write_text(
+            """
+            {"queries": [
+              {"object": "person", "limit": 2, "tenant": "a"},
+              {"object": "person", "limit": 2, "run_seed": 1, "tenant": "b"},
+              {"object": "traffic light", "limit": 1, "tenant": "a",
+               "shard": 1}
+            ]}
+            """
+        )
+        code, text = run_cli(
+            "fleet", "--dataset", "dashcam", "--workload", str(workload),
+            "--scale", "0.02", "--time-scale", "0", "--shards", "2",
+        )
+        assert code == 0
+        assert "fleet replay" in text
+        assert "fleet: 2 shards" in text
+        assert "finished" in text
+        assert "shard 0:" in text and "shard 1:" in text
+
+    def test_shard_pin_beyond_fleet_rejected(self, tmp_path):
+        workload = tmp_path / "wl.json"
+        workload.write_text(
+            '{"queries": [{"object": "person", "limit": 1, "shard": 5}]}'
+        )
+        code, text = run_cli(
+            "fleet", "--dataset", "dashcam", "--workload", str(workload),
+            "--scale", "0.02", "--shards", "2",
+        )
+        assert code == 1
+        assert "invalid workload" in text
+        assert "shard" in text
+
+    def test_empty_workload(self, tmp_path):
+        workload = tmp_path / "wl.json"
+        workload.write_text('{"queries": []}')
+        code, text = run_cli(
+            "fleet", "--dataset", "dashcam", "--workload", str(workload),
+        )
+        assert code == 0
+        assert "empty" in text
+
+    def test_placement_and_context_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fleet", "--dataset", "dashcam", "--workload", "x.json",
+                 "--placement", "round_robin_shards"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fleet", "--dataset", "dashcam", "--workload", "x.json",
+                 "--context", "greenthreads"]
+            )
+
 
 class TestExperimentAndAblation:
     def test_fig6_experiment_runs(self, monkeypatch):

@@ -24,6 +24,7 @@ FAST_EXAMPLES = [
     "custom_dataset",
     "streaming_resume",
     "async_serving",
+    "fleet_serving",
 ]
 
 

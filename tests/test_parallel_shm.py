@@ -225,6 +225,64 @@ def _observe_with_engine(engine, run_seed):
     return [(o.d0, o.d1, o.cost) for o in observations], hits, misses
 
 
+def _touch_and_publish(cache, key):
+    """Worker body: one warm hit, one cold miss, publish, report pid."""
+    cache.get(key)  # row written by the parent: a cross-process hit
+    cache.get(("scope-cold",) + tuple(key[1:]))  # nothing there: a miss
+    cache.publish_counters()
+    return os.getpid()
+
+
+class TestSharedCacheCounterAggregation:
+    """publish_counters/aggregate_info: the fleet-stats counter plumbing."""
+
+    def test_aggregate_sums_counters_of_every_publisher(self):
+        cache = SharedDetectionCache()
+        key = ("scope-warm", 0, 1)
+        cache.put(key, ["row"])
+        parallel_map(partial(_touch_and_publish, cache), [key, key], jobs=2)
+        info = cache.aggregate_info()
+        assert info.policy == "shared"
+        # Two probes, each 1 warm hit + 1 cold miss; the parent's own
+        # counters (published during aggregation) add zero.
+        assert (info.hits, info.misses) == (2, 2)
+        assert info.per_scope["scope-warm"].hits == 2
+        assert info.per_scope["scope-warm"].misses == 0
+        assert info.per_scope["scope-cold"].misses == 2
+        # Local info() stays this-process-only by design.
+        assert (cache.info().hits, cache.info().misses) == (0, 0)
+        cache.clear()
+
+    def test_counter_rows_are_not_cache_entries(self):
+        cache = SharedDetectionCache()
+        key = ("scope", 0, 1)
+        cache.put(key, ["row"])
+        cache.get(key)
+        cache.publish_counters()
+        assert len(cache) == 1
+        assert cache.info().size == 1
+        assert cache.aggregate_info().size == 1
+        cache.clear()
+
+    def test_clone_publishers_keep_distinct_counter_rows(self):
+        """Every cache instance publishes under its own token, so two
+        publishers in one process (e.g. re-pickled per pool task) never
+        clobber each other's rows."""
+        cache = SharedDetectionCache()
+        key = ("scope", 0, 1)
+        cache.put(key, ["row"])
+        cache.get(key)
+        clone = pickle.loads(pickle.dumps(cache))
+        clone.get(key)
+        clone.get(("scope-other", 0, 1))
+        clone.publish_counters()
+        info = cache.aggregate_info()
+        assert (info.hits, info.misses) == (2, 1)
+        assert info.per_scope["scope"].hits == 2
+        assert info.per_scope["scope-other"].misses == 1
+        cache.clear()
+
+
 class TestSharedDetectionCache:
     def test_local_semantics_match_detection_cache(self):
         cache = SharedDetectionCache()

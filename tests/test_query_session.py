@@ -182,6 +182,88 @@ class TestCheckpointRestore:
             QuerySession.restore(blob)
 
 
+class TestCheckpointEnvelope:
+    """The v2 envelope: digest-verified payload plus peekable metadata."""
+
+    def _paused_session(self, engine):
+        session = engine.session(QUERY, method="exsample", run_seed=5)
+        for _ in session.stream():
+            session.pause()
+        return session
+
+    def test_v2_envelope_structure(self, engine):
+        import hashlib
+        import pickle
+
+        blob = self._paused_session(engine).checkpoint()
+        envelope = pickle.loads(blob)
+        assert envelope["version"] == 2
+        assert set(envelope) == {"version", "meta", "digest", "payload"}
+        assert set(envelope["meta"]) == {
+            "method", "num_samples", "num_results", "total_cost",
+        }
+        assert isinstance(envelope["payload"], bytes)
+        assert envelope["digest"] == hashlib.blake2b(
+            envelope["payload"], digest_size=16
+        ).hexdigest()
+
+    def test_peek_matches_session_counters(self, engine):
+        from repro.query.session import peek_checkpoint
+
+        session = self._paused_session(engine)
+        blob = session.checkpoint()
+        info = peek_checkpoint(blob)
+        assert info.version == 2
+        assert info.method == "exsample"
+        assert info.num_samples == session.num_samples
+        assert info.num_results == session.num_results
+        assert info.total_cost == session.total_cost
+        assert info.payload_bytes > 0
+        assert info.payload_bytes < len(blob)
+
+    def test_corrupted_payload_is_caught_by_digest(self, engine):
+        from repro.query.session import peek_checkpoint
+
+        blob = bytearray(self._paused_session(engine).checkpoint())
+        # Flip one bit mid-blob: inside the payload bytes, so the outer
+        # envelope still decodes and only the digest can catch it.
+        blob[len(blob) // 2] ^= 0x01
+        with pytest.raises(QueryError, match="digest mismatch"):
+            QuerySession.restore(bytes(blob))
+        # peek verifies before any restore attempt, too.
+        with pytest.raises(QueryError, match="digest mismatch"):
+            peek_checkpoint(bytes(blob))
+
+    def test_v1_flat_checkpoints_restore_but_do_not_peek(self, engine):
+        """Blobs written before the envelope existed keep loading."""
+        import pickle
+
+        from repro.query.session import peek_checkpoint
+
+        reference = engine.run(
+            QUERY, method="exsample", run_seed=5
+        ).trace
+        session = self._paused_session(engine)
+        v1_blob = pickle.dumps(
+            {
+                "version": 1,
+                "query": session.query,
+                "method": session.method,
+                "gt_count": session.gt_count,
+                "run": session._run,
+                "pending": list(session._pending),
+                "end_emitted": session._end_emitted,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        restored = QuerySession.restore(v1_blob)
+        for _ in restored.stream():
+            pass
+        assert_traces_identical(reference, restored.trace())
+        with pytest.raises(QueryError, match="v1"):
+            peek_checkpoint(v1_blob)
+
+
 class TestSearchRunStandalone:
     """SearchRun works over any environment, without an engine."""
 

@@ -20,7 +20,12 @@ import pytest
 from repro.core.environment import FrameRequest, propose_frames
 from repro.core.registry import SEARCH_METHODS
 from repro.core.sampler import ExSampleSearcher
-from repro.errors import ConfigError, QueryError, ServerOverloadedError
+from repro.errors import (
+    ConfigError,
+    QueryError,
+    ServerDrainingError,
+    ServerOverloadedError,
+)
 from repro.query.engine import QueryEngine
 from repro.query.query import DistinctObjectQuery
 from repro.query.session import QuerySession
@@ -674,6 +679,78 @@ class TestCheckpointUnderServing:
         # the restored copy picks up exactly where serving stopped.
         restored = QuerySession.restore(handle.session.checkpoint())
         assert restored.num_samples == handle.session.num_samples
+
+
+class TestGracefulDrain:
+    """drain_gracefully: nothing accepted is dropped, nothing new enters."""
+
+    def test_drain_settles_accepted_sessions_then_refuses(self):
+        engine = fresh_engine()
+
+        async def go():
+            server = engine.serve(max_in_flight=1)
+            running = await server.submit(QUERY, run_seed=0, batch_size=4)
+            queued = await server.submit(QUERY, run_seed=1, batch_size=4)
+            assert queued.state == "queued"
+            await server.drain_gracefully()
+            assert server.draining
+            assert server.stats().draining
+            # Both the in-flight and the still-queued session finished.
+            assert running.state == "finished"
+            assert queued.state == "finished"
+            with pytest.raises(ServerDrainingError, match="no longer"):
+                await server.submit(QUERY, run_seed=2)
+            # Idempotent: a second drain is a no-op, not an error.
+            await server.drain_gracefully()
+            return await running.result(), await queued.result()
+
+        first, second = asyncio.run(go())
+        assert first.num_results >= 5
+        assert second.num_results >= 5
+
+    def test_drain_checkpoint_leaves_every_session_checkpointable(self):
+        engine = fresh_engine()
+
+        async def go():
+            server = engine.serve(max_in_flight=1)
+            running = await server.submit(
+                DistinctObjectQuery("car", frame_budget=2000), batch_size=2
+            )
+            queued = await server.submit(QUERY, run_seed=1)
+            await asyncio.sleep(0.01)
+            await server.drain_gracefully(checkpoint=True)
+            assert running.state == "paused"
+            assert queued.state == "paused"
+            return running, queued
+
+        running, queued = asyncio.run(go())
+        # In-flight paused at a batch boundary mid-run; the queued one
+        # paused unstarted. Both restore.
+        assert running.session.num_samples > 0
+        assert queued.session.num_samples == 0
+        for handle in (running, queued):
+            restored = QuerySession.restore(handle.session.checkpoint())
+            assert restored.num_samples == handle.session.num_samples
+
+    def test_backpressured_waiter_is_refused_when_drain_begins(self):
+        engine = fresh_engine()
+
+        async def go():
+            server = engine.serve(max_in_flight=1, queue_capacity=0)
+            running = await server.submit(QUERY, run_seed=0, batch_size=4)
+            waiter = asyncio.ensure_future(
+                server.submit(QUERY, run_seed=1)
+            )
+            await asyncio.sleep(0)  # let the waiter enter backpressure
+            await server.drain_gracefully()
+            with pytest.raises(ServerDrainingError, match="waited"):
+                await waiter
+            # The waiter's session was never accepted, so the drain only
+            # settled the running one.
+            assert server.stats().finished == 1
+            await running.result()
+
+        asyncio.run(go())
 
 
 # ---------------------------------------------------------------------------
