@@ -919,3 +919,92 @@ def test_fleet_scaling_throughput():
             f"2-shard fleet sped replay up only {speedup:.2f}x on {cores} "
             f"cores (required >=1.5x)"
         )
+
+
+def test_repository_index_warm_start(tmp_path):
+    """The repository index must cut detector sampling on repeat workloads.
+
+    Two engines run the identical query at run seeds 1..6 over the same
+    dataset. The cold engine has no index; the warm engine shares a
+    repository index seeded by one prior run (seed 0) and keeps recording
+    as it goes, so later seeds benefit from everything earlier ones paid —
+    exactly the cross-query reuse the subsystem exists for. Samples are
+    summed across seeds because individual (warm, cold) pairs are noisy:
+    a lucky cold draw can beat an unlucky warm one, but the aggregate
+    cannot. Both gates are deterministic counts, so no timing tolerance
+    applies; metrics are recorded before either assert so a failure still
+    leaves honest numbers in the trajectory file.
+
+    The second gate is the exact-repeat short-circuit: a fresh engine on
+    the same index re-issued the seed-0 query and must replay it from the
+    recorded outcome — zero detector calls, byte-identical outcome pickle.
+    """
+    import pickle
+
+    from repro.query.engine import ReplaySession
+    from repro.query.query import DistinctObjectQuery
+
+    dataset_kwargs = dict(name="dashcam", scale=0.02, seed=7)
+    query = DistinctObjectQuery("bicycle", limit=4)
+    index_path = tmp_path / "repo-index"
+    seeds = range(1, 7)
+
+    warm_engine = QueryEngine(
+        make_dataset(**dataset_kwargs), seed=7, index=str(index_path)
+    )
+    seed_outcome = warm_engine.run(query, run_seed=0)
+    warm_samples = sum(
+        warm_engine.run(query, run_seed=s).trace.num_samples for s in seeds
+    )
+
+    cold_engine = QueryEngine(make_dataset(**dataset_kwargs), seed=7)
+    cold_samples = sum(
+        cold_engine.run(query, run_seed=s).trace.num_samples for s in seeds
+    )
+
+    # Exact repeat on a fresh engine: replayed, zero detector work.
+    fresh = QueryEngine(
+        make_dataset(**dataset_kwargs), seed=7, index=str(index_path)
+    )
+    fresh.detection_cache.clear()  # preload must not mask live sampling
+    session = fresh.session(query, run_seed=0)
+    replayed = isinstance(session, ReplaySession)
+    replay_calls = fresh.detector.detect_calls
+    blob_identical = session.outcome_blob == pickle.dumps(
+        seed_outcome, protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+    reduction = cold_samples / max(warm_samples, 1)
+    save_artifact(
+        "micro_warm_start",
+        (
+            f"repository index warm start "
+            f"(dashcam 0.02, 'bicycle' limit 4, seeds 1..6 summed)\n"
+            f"cold engine (no index):   {cold_samples} samples\n"
+            f"warm engine (shared idx): {warm_samples} samples\n"
+            f"reduction:                {reduction:.2f}x\n"
+            f"exact repeat: replayed={replayed}, "
+            f"detector calls={replay_calls}, "
+            f"outcome bytes identical={blob_identical}"
+        ),
+    )
+    save_metric(
+        "warm_start",
+        cold_samples=cold_samples,
+        warm_samples=warm_samples,
+        reduction=reduction,
+        runs_summed=len(list(seeds)),
+        replay_detector_calls=replay_calls,
+        replay_byte_identical=blob_identical,
+    )
+    assert warm_samples < cold_samples, (
+        f"warm-started runs drew {warm_samples} samples vs {cold_samples} "
+        f"cold over seeds 1..6 — the index priors are not helping"
+    )
+    assert replayed and replay_calls == 0, (
+        f"exact repeat was not short-circuited (replayed={replayed}, "
+        f"{replay_calls} detector calls)"
+    )
+    assert blob_identical, (
+        "replayed outcome pickle differs from the recorded run's bytes"
+    )

@@ -15,6 +15,9 @@ The library has four layers:
   the harnesses regenerating every table and figure in the paper.
 * :mod:`repro.serving` — the asyncio multi-tenant server: many concurrent
   sessions on one event loop, detector requests fused across them.
+* :mod:`repro.index` — the persistent repository index: completed queries
+  record detections, per-chunk sampling counts and outcomes on disk, so
+  later queries warm-start and exact repeats replay with zero detection.
 
 Quickstart::
 
@@ -28,6 +31,7 @@ Quickstart::
 """
 
 from repro.core import ExSampleConfig, ExSampleSearcher, SearchTrace
+from repro.index import RepositoryIndex
 from repro.query import (
     SEARCH_METHODS,
     BudgetExhausted,
@@ -56,6 +60,7 @@ __all__ = [
     "QueryOutcome",
     "QueryServer",
     "QuerySession",
+    "RepositoryIndex",
     "ResultFound",
     "ServerConfig",
     "SEARCH_METHODS",

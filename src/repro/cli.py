@@ -101,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("unbounded", "lru", "off", "shared"),
         help="detection memoization policy (results are unaffected)",
     )
+    _add_index_flag(query)
 
     compare = sub.add_parser(
         "compare", help="run every method on one query and compare times"
@@ -119,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes for the method sweep (default: REPRO_JOBS or 1)",
     )
+    _add_index_flag(compare)
     _add_shared_flags(compare)
 
     serve = sub.add_parser(
@@ -177,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("unbounded", "lru", "off", "shared"),
         help="detection memoization policy (results are unaffected)",
     )
+    _add_index_flag(serve)
 
     fleet = sub.add_parser(
         "fleet",
@@ -228,6 +231,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="give each shard a private detection cache instead of the "
              "cross-process shared memo (results are unaffected)",
     )
+    _add_index_flag(fleet)
+
+    index = sub.add_parser(
+        "index",
+        help="manage a persistent repository index (cross-query reuse)",
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+
+    index_build = index_sub.add_parser(
+        "build",
+        help="seed an index by running queries with recording attached",
+    )
+    index_build.add_argument("--path", required=True,
+                             help="index directory (created if missing)")
+    index_build.add_argument("--dataset", required=True,
+                             choices=sorted(DATASET_BUILDERS))
+    index_build.add_argument("--object", required=True, dest="object_class",
+                             help="object class to seed knowledge for")
+    index_build.add_argument("--method", default="exsample",
+                             choices=SEARCH_METHODS)
+    index_build.add_argument("--limit", type=int, default=10)
+    index_build.add_argument(
+        "--runs", type=int, default=3,
+        help="seeding runs (run seeds 0..N-1); later runs warm-start from "
+             "the knowledge earlier ones recorded",
+    )
+    index_build.add_argument("--scale", type=float, default=0.05)
+    index_build.add_argument("--seed", type=int, default=0)
+
+    index_stats = index_sub.add_parser(
+        "stats", help="summarise an index directory's recorded knowledge"
+    )
+    index_stats.add_argument("--path", required=True)
+
+    index_vacuum = index_sub.add_parser(
+        "vacuum",
+        help="fold append-only segments into one compacted store",
+    )
+    index_vacuum.add_argument("--path", required=True)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table or figure"
@@ -265,6 +307,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_shared_flags(ablation)
 
     return parser
+
+
+def _add_index_flag(subparser) -> None:
+    subparser.add_argument(
+        "--index", default=None, metavar="PATH",
+        help="attach a persistent repository index directory: completed "
+             "queries record their knowledge, new ones warm-start from it, "
+             "exact repeats replay with zero detector calls",
+    )
 
 
 def _add_shared_flags(subparser) -> None:
@@ -325,6 +376,7 @@ def _cmd_query(args, out) -> int:
         cost_model=CostModel(detector_fps=args.detector_fps),
         seed=args.seed,
         detection_cache=args.cache,
+        index=args.index,
     )
     if args.limit is None and args.recall is None and args.cost_budget is None:
         args.limit = 10
@@ -383,7 +435,9 @@ def _cmd_compare(args, out) -> int:
     _apply_parallel_env(args)
     cache = "shared" if args.shared_cache else args.cache
     dataset = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    engine = QueryEngine(dataset, seed=args.seed, detection_cache=cache)
+    engine = QueryEngine(
+        dataset, seed=args.seed, detection_cache=cache, index=args.index
+    )
     query = DistinctObjectQuery(
         args.object_class,
         recall_target=args.recall,
@@ -494,7 +548,9 @@ def _cmd_serve(args, out) -> int:
         print("serve needs exactly one of --workload or --listen", file=out)
         return 1
     dataset = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    engine = QueryEngine(dataset, seed=args.seed, detection_cache=args.cache)
+    engine = QueryEngine(
+        dataset, seed=args.seed, detection_cache=args.cache, index=args.index
+    )
     config = ServerConfig(
         max_in_flight=args.max_in_flight,
         queue_capacity=args.queue_capacity,
@@ -599,6 +655,7 @@ def _cmd_fleet(args, out) -> int:
             max_in_flight=args.max_in_flight,
             policy=args.policy,
         ),
+        index=args.index,
     )
     summaries, stats = run_fleet(
         dataset,
@@ -645,6 +702,54 @@ def _cmd_fleet(args, out) -> int:
             file=out,
         )
     return 1 if failed else 0
+
+
+def _cmd_index(args, out) -> int:
+    """Manage a persistent repository index: build, stats, vacuum."""
+    from repro.index import RepositoryIndex
+
+    if args.index_command == "stats":
+        print(RepositoryIndex(args.path).stats().describe(), file=out)
+        return 0
+    if args.index_command == "vacuum":
+        stats = RepositoryIndex(args.path).vacuum()
+        print("vacuum complete", file=out)
+        print(stats.describe(), file=out)
+        return 0
+    # build: run seeding queries with recording attached; each run uses
+    # the next run seed, so later runs warm-start from earlier knowledge.
+    dataset = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    engine = QueryEngine(dataset, seed=args.seed, index=args.path)
+    query = DistinctObjectQuery(
+        args.object_class,
+        limit=args.limit,
+        frame_budget=dataset.total_frames,
+    )
+    rows = []
+    for run_seed in range(args.runs):
+        session = engine.session(query, method=args.method, run_seed=run_seed)
+        outcome = session.run_to_completion()
+        rows.append(
+            (
+                run_seed,
+                "replayed" if session.replayed else "live",
+                outcome.num_results,
+                outcome.trace.num_samples,
+            )
+        )
+    print(
+        ascii_table(
+            ["run seed", "mode", "results", "detector frames"],
+            rows,
+            title=(
+                f"index build: {args.runs} x {args.object_class} "
+                f"over {args.dataset}"
+            ),
+        ),
+        file=out,
+    )
+    print(engine.index.stats().describe(), file=out)
+    return 0
 
 
 def _cmd_experiment(args, out) -> int:
@@ -698,6 +803,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_serve(args, out)
     if args.command == "fleet":
         return _cmd_fleet(args, out)
+    if args.command == "index":
+        return _cmd_index(args, out)
     if args.command == "experiment":
         return _cmd_experiment(args, out)
     if args.command == "ablation":

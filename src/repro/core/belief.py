@@ -73,11 +73,39 @@ class GammaBelief:
 
 
 def beliefs_from_counts(
-    n1: np.ndarray, n: np.ndarray, alpha0: float, beta0: float
+    n1: np.ndarray,
+    n: np.ndarray,
+    alpha0: "float | np.ndarray",
+    beta0: "float | np.ndarray",
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorised Eq. III.4: alphas = N1 + alpha0, betas = n + beta0."""
-    alphas = np.asarray(n1, dtype=float) + alpha0
-    betas = np.asarray(n, dtype=float) + beta0
+    """Vectorised Eq. III.4: alphas = N1 + alpha0, betas = n + beta0.
+
+    ``alpha0``/``beta0`` are each a positive scalar (the paper's uniform
+    prior) or a positive 1-D array aligned with the counts — per-chunk
+    priors, the warm-start path of the repository index. Array priors are
+    validated for positivity and length before the addition so a stale or
+    truncated prior vector fails loudly instead of broadcasting nonsense.
+    """
+    n1 = np.asarray(n1, dtype=float)
+    n = np.asarray(n, dtype=float)
+    for name, prior in (("alpha0", alpha0), ("beta0", beta0)):
+        arr = np.asarray(prior, dtype=float)
+        if arr.ndim > 1:
+            raise ConfigError(
+                f"{name} must be a scalar or 1-D per-chunk array, "
+                f"got shape {arr.shape}"
+            )
+        if arr.ndim == 1 and arr.shape != n1.shape:
+            raise ConfigError(
+                f"per-chunk {name} has {arr.size} entries for "
+                f"{n1.size} chunks"
+            )
+        if np.any(arr <= 0) or not np.all(np.isfinite(arr)):
+            raise ConfigError(
+                f"{name} must be positive and finite everywhere"
+            )
+    alphas = n1 + alpha0
+    betas = n + beta0
     if np.any(alphas <= 0) or np.any(betas <= 0):
         raise ConfigError("belief parameters must be positive; check alpha0/beta0")
     return alphas, betas

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import ConfigError
 
 #: Prior pseudo-counts used by the paper (§III-C): "We used alpha0 = .1 and
@@ -17,6 +19,39 @@ _VALID_ORDERS = ("randomplus", "uniform", "sequential")
 _VALID_CROSS_CHUNK = ("local", "origin")
 
 
+def validate_prior(name: str, value) -> "float | np.ndarray":
+    """Normalise a prior pseudo-count to a positive float or 1-D array.
+
+    Scalars stay plain floats (the paper's uniform prior). Array-likes
+    become read-only float vectors — one prior per chunk, the warm-start
+    substrate of the repository index. Anything non-positive, empty, or
+    of higher rank is rejected: the Gamma belief of Eq. III.4 is
+    undefined at zero, and a matrix prior has no chunk interpretation.
+    """
+    if np.ndim(value) == 0:
+        scalar = float(value)
+        if not np.isfinite(scalar) or scalar <= 0:
+            raise ConfigError(
+                f"{name} must be positive (got {name}={value!r}); the "
+                "Gamma belief of Eq. III.4 is undefined at zero"
+            )
+        return scalar
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigError(
+            f"{name} must be a positive scalar or a non-empty 1-D "
+            f"per-chunk array, got shape {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)) or np.any(arr <= 0):
+        raise ConfigError(
+            f"every per-chunk {name} entry must be positive and finite; "
+            f"offending values: {arr[~(np.isfinite(arr) & (arr > 0))][:5]}"
+        )
+    arr = arr.copy()
+    arr.flags.writeable = False
+    return arr
+
+
 @dataclass(frozen=True)
 class ExSampleConfig:
     """Tunable knobs of the ExSample sampling loop.
@@ -26,9 +61,12 @@ class ExSampleConfig:
     alpha0, beta0:
         Prior pseudo-counts added to ``N1_j`` and ``n_j`` when forming the
         belief distribution Gamma(N1_j + alpha0, n_j + beta0) of Eq. III.4.
-        Both must be positive: the Gamma distribution is undefined at 0 and
-        the positive prior is what lets chunks with ``N1 = 0`` keep being
-        explored (§III-C).
+        Each is either one positive scalar applied to every chunk (the
+        paper's uniform prior) or a positive 1-D array with one entry per
+        chunk — how a repository index warm-starts a run from what earlier
+        queries learned. Positivity is required: the Gamma distribution is
+        undefined at 0 and the positive prior is what lets chunks with
+        ``N1 = 0`` keep being explored (§III-C).
     policy:
         Chunk-selection policy. ``"thompson"`` (the paper's choice),
         ``"bayes_ucb"`` (the alternative the paper also tried, §III-C),
@@ -56,8 +94,8 @@ class ExSampleConfig:
         requires the environment to report ``d1_origin_chunks``.
     """
 
-    alpha0: float = PAPER_ALPHA0
-    beta0: float = PAPER_BETA0
+    alpha0: "float | np.ndarray" = PAPER_ALPHA0
+    beta0: "float | np.ndarray" = PAPER_BETA0
     policy: str = "thompson"
     batch_size: int = 1
     within_chunk_order: str = "randomplus"
@@ -67,12 +105,11 @@ class ExSampleConfig:
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.alpha0 <= 0 or self.beta0 <= 0:
-            raise ConfigError(
-                "alpha0 and beta0 must be positive "
-                f"(got alpha0={self.alpha0}, beta0={self.beta0}); the Gamma "
-                "belief of Eq. III.4 is undefined at zero"
-            )
+        # Frozen dataclass: normalised priors are written back through
+        # object.__setattr__ (floats stay floats, array-likes become
+        # read-only per-chunk vectors).
+        object.__setattr__(self, "alpha0", validate_prior("alpha0", self.alpha0))
+        object.__setattr__(self, "beta0", validate_prior("beta0", self.beta0))
         if self.policy not in _VALID_POLICIES:
             raise ConfigError(
                 f"unknown policy {self.policy!r}; expected one of {_VALID_POLICIES}"

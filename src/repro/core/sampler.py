@@ -569,6 +569,15 @@ class ExSampleSearcher(Searcher):
     ):
         config = config or ExSampleConfig()
         super().__init__(env, rng if rng is not None else RngFactory(config.seed))
+        # Per-chunk prior vectors (the index warm-start path) must align
+        # with this environment's chunk list; a vector built against a
+        # different chunking would silently mis-credit every belief.
+        for name, prior in (("alpha0", config.alpha0), ("beta0", config.beta0)):
+            if np.ndim(prior) == 1 and np.size(prior) != self.sizes.size:
+                raise ConfigError(
+                    f"per-chunk {name} has {np.size(prior)} entries but the "
+                    f"environment has {self.sizes.size} chunks"
+                )
         self.config = config
         self.stats = ChunkStatistics(self.sizes)
         self.policy = make_policy(config.policy, config.ucb_horizon)

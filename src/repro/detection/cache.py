@@ -33,12 +33,18 @@ the world or seed changes between save and load.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import ConfigError
+
+#: On-disk format version of :meth:`DetectionCache.save` snapshots.
+CACHE_SNAPSHOT_VERSION = 1
 
 #: Cache key: (detector scope, video, frame, class_filter-or-None).
 CacheKey = Tuple[str, int, int, Optional[str]]
@@ -241,6 +247,116 @@ class DetectionCache:
             self.misses = 0
             self._scope_hits.clear()
             self._scope_misses.clear()
+
+    def snapshot(
+        self, scope: Optional[str] = None
+    ) -> "Dict[CacheKey, List[object]]":
+        """A counter-free copy of the stored entries.
+
+        ``scope`` restricts the copy to one detector's keys (see
+        :attr:`scoped`). Like :meth:`__contains__`, reading a snapshot
+        never perturbs the hit/miss statistics, so persistence layers —
+        :meth:`save`, the repository index's detection-row harvest — can
+        export entries without skewing effectiveness numbers.
+        """
+        with self._lock:
+            items = list(self._store.items())
+        if scope is None:
+            return {key: list(value) for key, value in items}
+        return {
+            key: list(value)
+            for key, value in items
+            if self._scope_of(key) == scope
+        }
+
+    # -- explicit on-disk persistence ----------------------------------------
+
+    def save(self, path: str) -> int:
+        """Write contents to ``path`` as a digest-checked envelope.
+
+        Pickling a cache deliberately drops its contents (checkpoints must
+        stay small); this is the explicit opposite — a warm memo carried
+        across processes on purpose. The envelope mirrors the session
+        checkpoint format: a version tag, summary metadata (policy,
+        capacity, entry count, the scope digests present), a blake2b
+        digest of the pickled payload, and the payload itself. Returns the
+        number of entries written.
+        """
+        entries = self.snapshot()
+        payload = pickle.dumps(
+            {"entries": entries}, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        envelope = {
+            "version": CACHE_SNAPSHOT_VERSION,
+            "meta": {
+                "policy": self.policy,
+                "capacity": self.capacity,
+                "entries": len(entries),
+                "scopes": sorted({self._scope_of(key) for key in entries}),
+            },
+            "digest": hashlib.blake2b(payload, digest_size=16).hexdigest(),
+            "payload": payload,
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return len(entries)
+
+    @classmethod
+    def load(cls, path: str, detector=None) -> "DetectionCache":
+        """Revive a :meth:`save` snapshot as a warm cache.
+
+        ``detector`` (optional but recommended) pins the load to one
+        detector identity: every scope digest recorded in the snapshot
+        must equal ``detector.cache_scope()``, otherwise the load is
+        refused with a :class:`~repro.errors.ConfigError` — the PR 4
+        cross-world cache regression showed what silently adopting rows
+        from another world does to results. The payload digest is always
+        verified.
+        """
+        with open(path, "rb") as handle:
+            try:
+                envelope = pickle.load(handle)
+            except Exception as exc:
+                raise ConfigError(
+                    f"could not decode detection cache snapshot {path!r}: {exc}"
+                ) from exc
+        if not isinstance(envelope, dict) or "version" not in envelope:
+            raise ConfigError(f"{path!r} is not a detection cache snapshot")
+        if envelope["version"] != CACHE_SNAPSHOT_VERSION:
+            raise ConfigError(
+                f"unsupported cache snapshot version {envelope['version']} "
+                f"(this library reads version {CACHE_SNAPSHOT_VERSION})"
+            )
+        digest = hashlib.blake2b(
+            envelope["payload"], digest_size=16
+        ).hexdigest()
+        if digest != envelope["digest"]:
+            raise ConfigError(
+                f"cache snapshot {path!r} failed its digest check: the file "
+                "was corrupted in storage or transit"
+            )
+        meta = envelope["meta"]
+        if detector is not None:
+            expected = detector.cache_scope()
+            foreign = [s for s in meta.get("scopes", []) if s != expected]
+            if foreign:
+                raise ConfigError(
+                    f"cache snapshot {path!r} holds rows for detector "
+                    f"scope(s) {[s[:12] + '…' for s in foreign]} but the "
+                    f"attached detector's scope is {expected[:12]}…; the "
+                    "world, seed or profile changed since the snapshot — "
+                    "refusing to load stale detections"
+                )
+        state = pickle.loads(envelope["payload"])
+        cache = cls(
+            policy=meta["policy"],
+            capacity=meta["capacity"] if meta["capacity"] is not None else 65536,
+        )
+        for key, value in state["entries"].items():
+            cache.put(key, value)
+        return cache
 
     def _per_scope(self) -> Dict[str, ScopeCacheInfo]:
         scopes = set(self._scope_hits) | set(self._scope_misses)

@@ -1,0 +1,30 @@
+"""Persistent repository knowledge: reuse what sampling already learned.
+
+A production service sees the same video repository queried thousands of
+times, yet every ExSample run historically started from uniform chunk
+beliefs and re-paid detection for frames earlier queries had already
+sampled. :class:`RepositoryIndex` is the on-disk store that closes that
+loop — see :mod:`repro.index.store` for the three knowledge layers
+(detection rows, per-chunk sampling counts, recorded query outcomes) and
+the concurrent-writer segment format.
+"""
+
+from repro.index.store import (
+    INDEX_VERSION,
+    IndexStats,
+    RepositoryIndex,
+    canonical_query_digest,
+    chunk_signature,
+    counts_from_trace,
+    make_repository_index,
+)
+
+__all__ = [
+    "INDEX_VERSION",
+    "IndexStats",
+    "RepositoryIndex",
+    "canonical_query_digest",
+    "chunk_signature",
+    "counts_from_trace",
+    "make_repository_index",
+]

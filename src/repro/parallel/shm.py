@@ -359,6 +359,25 @@ class SharedDetectionCache(DetectionCache):
         self._scope_hits.clear()
         self._scope_misses.clear()
 
+    def snapshot(self, scope=None):
+        """A counter-free copy of the stored entries (see the base class).
+
+        Fetched key by key so only the requested scope's blobs cross the
+        manager connection; counter rows (process bookkeeping in the same
+        store) are excluded. Pays one IPC round-trip per entry — callers
+        like the repository-index recorder restrict to one scope.
+        """
+        entries = {}
+        for key in self._store.keys():
+            if _is_counter_key(key):
+                continue
+            if scope is not None and self._scope_of(key) != scope:
+                continue
+            blob = self._store.get(key)
+            if blob is not None:
+                entries[key] = pickle.loads(blob)
+        return entries
+
     def info(self) -> CacheInfo:
         return CacheInfo(
             policy=self.policy,

@@ -14,6 +14,7 @@ from repro.query.engine import (
     FoundObject,
     QueryEngine,
     QueryOutcome,
+    ReplaySession,
     VideoSearchEnvironment,
 )
 from repro.query.metrics import (
@@ -47,6 +48,7 @@ __all__ = [
     "QueryEngine",
     "QueryOutcome",
     "QuerySession",
+    "ReplaySession",
     "ResultFound",
     "SEARCH_METHODS",
     "SampleBatch",

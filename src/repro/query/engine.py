@@ -19,6 +19,7 @@ True
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -28,7 +29,8 @@ import numpy as np
 # registry (each method module self-registers at import time).
 import repro.baselines  # noqa: F401  - registers the five §II-B baselines
 import repro.extensions.fusion  # noqa: F401  - registers exsample_fusion
-from repro.core.config import ExSampleConfig
+from repro.core.belief import beliefs_from_counts
+from repro.core.config import PAPER_ALPHA0, PAPER_BETA0, ExSampleConfig
 from repro.core.environment import FrameRequest, Observation
 from repro.core.registry import (
     SEARCH_METHODS,
@@ -40,6 +42,11 @@ from repro.detection.cache import CacheInfo, CacheSpec, make_detection_cache
 from repro.detection.proxy import ProxyModel
 from repro.detection.simulated import DetectorProfile, SimulatedDetector
 from repro.errors import QueryError
+from repro.index.store import (
+    canonical_query_digest,
+    chunk_signature,
+    make_repository_index,
+)
 from repro.query.cost import CostModel
 from repro.query.metrics import recall_curve, samples_to_recall, time_to_recall
 from repro.query.query import DistinctObjectQuery
@@ -53,6 +60,7 @@ __all__ = [
     "FoundObject",
     "QueryEngine",
     "QueryOutcome",
+    "ReplaySession",
     "VideoSearchEnvironment",
 ]
 
@@ -96,6 +104,84 @@ class QueryOutcome:
 
     def time_to_recall(self, recall: float) -> Optional[float]:
         return time_to_recall(self.trace, self.gt_count, recall)
+
+
+class _ReplaySearcher:
+    """Searcher stand-in carried by a replayed run.
+
+    Serving drivers reach through ``run.searcher.env`` for the detector;
+    a replay has no environment (nothing left to detect), so the stub
+    exposes ``env = None`` and the recorded searcher name.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.env = None
+
+
+class ReplayRun:
+    """A finished :class:`~repro.core.sampler.SearchRun` look-alike.
+
+    Wraps a trace recorded by the repository index. Born finished:
+    ``propose()`` yields nothing, every driver — blocking, streaming, or
+    the serving event loop — observes immediate completion, and no
+    detector is ever invoked.
+    """
+
+    def __init__(self, trace: SearchTrace, reason: str):
+        self._trace = trace
+        self.reason = reason
+        self.finished = True
+        self.searcher = _ReplaySearcher(trace.searcher)
+
+    @property
+    def num_samples(self) -> int:
+        return self._trace.num_samples
+
+    @property
+    def num_results(self) -> int:
+        return self._trace.num_results
+
+    @property
+    def total_cost(self) -> float:
+        return self._trace.total_cost
+
+    def propose(self):
+        return None
+
+    def trace(self) -> SearchTrace:
+        return self._trace
+
+
+class ReplaySession(QuerySession):
+    """A session short-circuited by a recorded repository-index outcome.
+
+    Behaves like a :class:`~repro.query.session.QuerySession` whose run
+    already finished: ``stream()`` yields exactly the terminal
+    :class:`~repro.query.session.BudgetExhausted` event (with the original
+    stop reason), and :meth:`outcome` returns the *recorded* outcome
+    object — byte-identical under re-pickling to what the original run
+    produced — at the cost of zero detector calls.
+    """
+
+    replayed = True
+
+    def __init__(self, record: dict, query, method: str, gt_count: int):
+        outcome = pickle.loads(record["blob"])
+        super().__init__(
+            ReplayRun(outcome.trace, record.get("reason") or "exhausted"),
+            query=query,
+            method=method,
+            gt_count=gt_count,
+        )
+        self._outcome = outcome
+        #: The recorded outcome pickle, byte-for-byte what the original
+        #: live run serialised (``pickle.dumps(original_outcome)``); kept
+        #: so callers can verify byte-identity without re-pickling.
+        self.outcome_blob: bytes = record["blob"]
+
+    def outcome(self) -> "QueryOutcome":
+        return self._outcome
 
 
 class VideoSearchEnvironment:
@@ -275,6 +361,7 @@ class QueryEngine:
         detector_profile: Optional[DetectorProfile] = None,
         seed: int = 0,
         detection_cache: CacheSpec = "unbounded",
+        index=None,
     ):
         self.dataset = dataset
         self.seed = seed
@@ -286,6 +373,119 @@ class QueryEngine:
         )
         self.cost_model = cost_model or CostModel()
         self._proxies: Dict[tuple, ProxyModel] = {}
+        # ``index`` attaches a persistent repository index (a directory
+        # path or RepositoryIndex): completed sessions record what they
+        # learned, new sessions warm-start from it, exact repeats replay.
+        self.index = make_repository_index(index)
+        self._chunk_sig: Optional[str] = None
+        if self.index is not None:
+            self.index.preload_cache(self.detector)
+
+    # -- repository-index plumbing -------------------------------------------
+
+    def chunk_sig(self) -> str:
+        """Memoized :func:`~repro.index.store.chunk_signature` of the dataset."""
+        if self._chunk_sig is None:
+            self._chunk_sig = chunk_signature(self.dataset.chunk_map.sizes())
+        return self._chunk_sig
+
+    def query_digest(
+        self,
+        query: DistinctObjectQuery,
+        method: str = "exsample",
+        run_seed: int = 0,
+        config: Optional[ExSampleConfig] = None,
+        searcher_kwargs: Optional[dict] = None,
+    ) -> str:
+        """The canonical digest under which this submission is indexed."""
+        return canonical_query_digest(
+            scope=self.detector.cache_scope(),
+            chunk_sig=self.chunk_sig(),
+            engine_seed=self.seed,
+            cost_model=self.cost_model,
+            method=method,
+            run_seed=run_seed,
+            query=query,
+            config=config,
+            searcher_kwargs=searcher_kwargs,
+        )
+
+    def _warm_config(
+        self, class_name: str, run_seed: int, searcher_kwargs: dict
+    ) -> Optional[ExSampleConfig]:
+        """An index-warmed ExSample config, or None to start uniform.
+
+        Builds per-chunk priors from the aggregated ``(n, N1)`` the index
+        holds for this exact (detector scope, class, chunking): through
+        :func:`~repro.core.belief.beliefs_from_counts` the recorded counts
+        become ``alpha0 = clip(N1) + PAPER_ALPHA0`` and
+        ``beta0 = n + PAPER_BETA0`` — the posterior earlier queries earned,
+        used as this run's prior. Consumes ``batch_size`` from
+        ``searcher_kwargs`` (folding it into the config, exactly as the
+        registry's config folding would) so the built config does not
+        collide with the batch-size-vs-config exclusivity check.
+        """
+        counts = self.index.counts_for(
+            self.detector.cache_scope(), class_name, self.chunk_sig()
+        )
+        if counts is None:
+            return None
+        n, n1 = counts
+        alpha0_vec, beta0_vec = beliefs_from_counts(
+            np.maximum(n1, 0.0), n, PAPER_ALPHA0, PAPER_BETA0
+        )
+        batch_size = searcher_kwargs.pop("batch_size", None)
+        return ExSampleConfig(
+            seed=run_seed,
+            batch_size=batch_size or 1,
+            alpha0=alpha0_vec,
+            beta0=beta0_vec,
+        )
+
+    def _attach_recorder(
+        self, session: QuerySession, query_digest: str
+    ) -> None:
+        """Hook index recording onto a live session's completion."""
+        index = self.index
+        scope = self.detector.cache_scope()
+        chunk_sig = self.chunk_sig()
+        chunk_map = self.dataset.chunk_map
+        num_chunks = int(chunk_map.sizes().size)
+        class_name = session.query.class_name
+
+        def _record(sess: QuerySession) -> None:
+            trace = sess.trace()
+            detections: dict = {}
+            cache = self.detection_cache
+            if (
+                cache is not None
+                and getattr(cache, "scoped", False)
+                and hasattr(cache, "snapshot")
+                and trace.chunks.size
+            ):
+                videos, vframes = chunk_map.to_video_frame_batch(
+                    trace.chunks, trace.frames
+                )
+                wanted = set(zip(videos.tolist(), vframes.tolist()))
+                for key, dets in cache.snapshot(scope).items():
+                    if (key[1], key[2]) in wanted:
+                        detections[key[1:]] = dets
+            blob = pickle.dumps(
+                sess.outcome(), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            index.record_session(
+                scope=scope,
+                class_name=class_name,
+                chunk_sig=chunk_sig,
+                num_chunks=num_chunks,
+                trace=trace,
+                query_digest=query_digest,
+                outcome_blob=blob,
+                reason=sess.reason,
+                detections=detections,
+            )
+
+        session.on_complete = _record
 
     # -- cache introspection -------------------------------------------------
 
@@ -400,6 +600,17 @@ class QueryEngine:
         ``checkpoint()``/``restore()`` its complete state; see the session
         module for the event vocabulary. :meth:`run` is a thin blocking
         wrapper over this method.
+
+        With a repository index attached, three things happen here. An
+        exact repeat of a recorded submission (same detector identity,
+        chunking, engine seed, cost model, method, run seed, query, config
+        and options) returns a :class:`ReplaySession` — the recorded
+        outcome, zero detector calls. Otherwise a plain ExSample run
+        (``method="exsample"``, no explicit config) warm-starts from the
+        index's per-chunk counts for this class. Either way, a live
+        session records its knowledge back into the index on completion.
+        The digest covers the user's inputs only — never the warm priors —
+        so a repeat replays no matter how the index evolved in between.
         """
         if query.class_name not in self.dataset.classes:
             raise QueryError(
@@ -407,9 +618,29 @@ class QueryEngine:
                 f"{self.dataset.name!r}; available: {self.dataset.classes}"
             )
         gt_count = self.dataset.gt_count(query.class_name)
+        query_digest: Optional[str] = None
+        if self.index is not None:
+            query_digest = self.query_digest(
+                query, method, run_seed, config, searcher_kwargs
+            )
+            record = self.index.outcome_for(query_digest)
+            if record is not None:
+                return ReplaySession(
+                    record, query=query, method=method, gt_count=gt_count
+                )
+        run_config = config
+        if (
+            self.index is not None
+            and config is None
+            and method == "exsample"
+        ):
+            searcher_kwargs = dict(searcher_kwargs)
+            run_config = self._warm_config(
+                query.class_name, run_seed, searcher_kwargs
+            )
         env = self.environment(query.class_name, run_seed)
         searcher = self.make_searcher(
-            method, env, run_seed=run_seed, config=config, **searcher_kwargs
+            method, env, run_seed=run_seed, config=run_config, **searcher_kwargs
         )
         # User-facing limits count discriminator results (the paper's limit
         # clause); recall targets are an evaluation construct and count
@@ -424,7 +655,10 @@ class QueryEngine:
             cost_budget=query.cost_budget,
             **{limit_kind: limit},
         )
-        return QuerySession(run, query=query, method=method, gt_count=gt_count)
+        session = QuerySession(run, query=query, method=method, gt_count=gt_count)
+        if self.index is not None and query_digest is not None:
+            self._attach_recorder(session, query_digest)
+        return session
 
     def run(
         self,

@@ -30,10 +30,11 @@ Checkpoints use :mod:`pickle` under the hood: restore only checkpoints you
 from __future__ import annotations
 
 import hashlib
+import logging
 import pickle
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Deque, Iterator, List, Optional, Tuple, Union
 
 from repro.core.sampler import SearchRun, SearchStep, SearchTrace
 from repro.errors import QueryError
@@ -186,6 +187,10 @@ class QuerySession:
     not re-entrant: drive one consumer at a time.
     """
 
+    #: True on sessions short-circuited from a recorded index outcome
+    #: (:class:`repro.query.engine.ReplaySession`); False on live runs.
+    replayed = False
+
     def __init__(
         self,
         run: SearchRun,
@@ -200,6 +205,12 @@ class QuerySession:
         self._pending: Deque[SessionEvent] = deque()
         self._paused = False
         self._end_emitted = False
+        #: Optional callback fired exactly once when the run finishes.
+        #: The engine's repository-index recorder attaches here; the hook
+        #: is process-local and deliberately excluded from checkpoints (a
+        #: restored session re-attaches whatever its new engine provides).
+        self.on_complete: Optional[Callable[["QuerySession"], None]] = None
+        self._completion_notified = False
 
     # -- progress introspection --------------------------------------------
 
@@ -292,6 +303,7 @@ class QuerySession:
                 )
             )
             self._end_emitted = True
+            self.notify_complete()
 
     def _events_from(self, step: SearchStep) -> List[SessionEvent]:
         events: List[SessionEvent] = []
@@ -329,6 +341,7 @@ class QuerySession:
             self._run.step()
         if self._run.finished:
             self._end_emitted = True
+            self.notify_complete()
 
     def run_to_completion(self):
         """Drive the remaining search without materialising events.
@@ -342,7 +355,32 @@ class QuerySession:
             self.advance()
         self._end_emitted = True
         self._pending.clear()
+        self.notify_complete()
         return self.outcome()
+
+    def notify_complete(self) -> None:
+        """Fire :attr:`on_complete` once, if the run has actually finished.
+
+        Idempotent and failure-isolated: the hook fires at most once per
+        session, only on a finished run, and a raising hook is logged and
+        swallowed — knowledge recording must never turn a successful query
+        into an error. Drivers that step the underlying
+        :class:`~repro.core.sampler.SearchRun` directly (the serving event
+        loop) call this themselves when they observe completion.
+        """
+        if self._completion_notified or not self._run.finished:
+            return
+        self._completion_notified = True
+        hook = self.on_complete
+        if hook is None:
+            return
+        try:
+            hook(self)
+        except Exception:  # noqa: BLE001 - recording is best-effort
+            logging.getLogger("repro.query.session").warning(
+                "session on_complete hook failed; the query outcome is "
+                "unaffected", exc_info=True,
+            )
 
     def trace(self) -> SearchTrace:
         """The (partial, if unfinished) trace accumulated so far."""

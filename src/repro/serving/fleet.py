@@ -105,6 +105,12 @@ class FleetConfig:
     shared_cache: bool = True
     host: str = "127.0.0.1"
     launch_timeout: float = 60.0
+    #: Directory of a :class:`~repro.index.RepositoryIndex` shared by
+    #: every shard engine. Shards record completed sessions as their own
+    #: append-only segments (the format is concurrent-writer safe), so
+    #: knowledge earned on any shard warm-starts and replays on all of
+    #: them. None disables cross-query reuse.
+    index: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -123,6 +129,9 @@ class _ShardSpec:
     cache: Optional[SharedDetectionCache]
     server: ServerConfig
     host: str
+    #: Repository-index directory shared fleet-wide (``index`` already
+    #: names the shard number here, hence the distinct field name).
+    repo_index: Optional[str] = None
 
 
 def _shard_main(spec: _ShardSpec, conn) -> None:
@@ -146,6 +155,7 @@ def _shard_main(spec: _ShardSpec, conn) -> None:
             spec.dataset,
             seed=spec.engine_seed,
             detection_cache=spec.cache if spec.cache is not None else "unbounded",
+            index=spec.repo_index,
         )
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -396,6 +406,7 @@ class FleetRouter:
                 cache=self._cache,
                 server=self.config.server,
                 host=self.config.host,
+                repo_index=self.config.index,
             )
             process = ctx.Process(
                 target=_shard_main,

@@ -644,6 +644,15 @@ class QueryServer:
             handle.error = exc
             terminal = "failed"
         finally:
+            if terminal == "finished" and run.finished:
+                # This loop steps the SearchRun directly, so the session's
+                # completion hook (repository-index recording) would never
+                # fire on the blocking path's behalf — notify it here.
+                # Idempotent, and a raising hook is contained by the
+                # session, so serving semantics are unchanged.
+                notify = getattr(session, "notify_complete", None)
+                if notify is not None:
+                    notify()
             self._running.discard(handle)
             self._tasks.pop(handle, None)
             handle._finish(terminal, loop)

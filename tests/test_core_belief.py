@@ -199,3 +199,59 @@ class TestMakePolicy:
     def test_unknown_name(self):
         with pytest.raises(ConfigError):
             make_policy("epsilon-greedy")
+
+
+class TestVectorPriorsInBeliefs:
+    """Per-chunk alpha0/beta0 arrays flow through Eq. III.4 element-wise."""
+
+    def test_vector_priors_add_element_wise(self):
+        n1 = np.array([0.0, 3.0, 1.0])
+        n = np.array([0.0, 10.0, 4.0])
+        alpha0 = np.array([0.1, 2.0, 0.5])
+        beta0 = np.array([1.0, 11.0, 4.0])
+        alphas, betas = beliefs_from_counts(n1, n, alpha0, beta0)
+        assert alphas.tolist() == [0.1, 5.0, 1.5]
+        assert betas.tolist() == [1.0, 21.0, 8.0]
+
+    def test_scalar_prior_on_one_side_broadcasts(self):
+        alphas, betas = beliefs_from_counts(
+            np.array([1.0, 2.0]), np.array([5.0, 6.0]),
+            0.1, np.array([1.0, 2.0]),
+        )
+        assert alphas.tolist() == [1.1, 2.1]
+        assert betas.tolist() == [6.0, 8.0]
+
+    def test_warm_start_equals_posterior_of_the_recorded_run(self):
+        """Priors built from recorded counts ARE the earlier posterior."""
+        n1_old = np.array([2.0, 0.0])
+        n_old = np.array([6.0, 3.0])
+        post_alpha, post_beta = beliefs_from_counts(n1_old, n_old, 0.1, 1.0)
+        warm_alpha, warm_beta = beliefs_from_counts(
+            np.zeros(2), np.zeros(2), post_alpha, post_beta
+        )
+        assert warm_alpha.tolist() == post_alpha.tolist()
+        assert warm_beta.tolist() == post_beta.tolist()
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigError, match="2 entries for 3 chunks"):
+            beliefs_from_counts(
+                np.zeros(3), np.zeros(3), np.array([0.1, 0.2]), 1.0
+            )
+        with pytest.raises(ConfigError, match="entries for"):
+            beliefs_from_counts(
+                np.zeros(3), np.zeros(3), 0.1, np.array([1.0, 2.0])
+            )
+
+    def test_rejects_2d_and_nonpositive_arrays(self):
+        with pytest.raises(ConfigError, match="1-D"):
+            beliefs_from_counts(
+                np.zeros(2), np.zeros(2), np.ones((2, 1)), 1.0
+            )
+        with pytest.raises(ConfigError, match="positive"):
+            beliefs_from_counts(
+                np.zeros(2), np.zeros(2), np.array([0.1, 0.0]), 1.0
+            )
+        with pytest.raises(ConfigError, match="positive"):
+            beliefs_from_counts(
+                np.zeros(2), np.zeros(2), 0.1, np.array([1.0, np.inf])
+            )

@@ -63,3 +63,56 @@ class TestReplace:
     def test_replace_validates(self):
         with pytest.raises(ConfigError):
             ExSampleConfig().replace(alpha0=-1)
+
+
+class TestVectorPriors:
+    """Per-chunk prior arrays: the repository index's warm-start format."""
+
+    def test_accepts_per_chunk_arrays(self):
+        import numpy as np
+
+        config = ExSampleConfig(
+            alpha0=[0.1, 2.0, 0.5], beta0=np.array([1.0, 11.0, 4.0])
+        )
+        assert isinstance(config.alpha0, np.ndarray)
+        assert config.alpha0.tolist() == [0.1, 2.0, 0.5]
+        assert config.beta0.tolist() == [1.0, 11.0, 4.0]
+
+    def test_normalised_arrays_are_read_only(self):
+        import numpy as np
+
+        config = ExSampleConfig(alpha0=[0.1, 2.0])
+        with pytest.raises(ValueError):
+            config.alpha0[0] = 5.0
+        assert not config.alpha0.flags.writeable
+        assert np.shares_memory(config.alpha0, config.alpha0) is True
+
+    def test_scalar_and_mixed_priors_still_work(self):
+        config = ExSampleConfig(alpha0=0.3, beta0=[1.0, 2.0])
+        assert config.alpha0 == 0.3
+        assert config.beta0.tolist() == [1.0, 2.0]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            [0.1, 0.0],               # a nonpositive entry
+            [0.1, -2.0],
+            [],                       # empty
+            [[0.1, 0.2]],             # 2-D
+            [0.1, float("nan")],      # non-finite
+            [0.1, float("inf")],
+        ],
+    )
+    def test_rejects_bad_arrays_for_both_priors(self, bad):
+        with pytest.raises(ConfigError):
+            ExSampleConfig(alpha0=bad)
+        with pytest.raises(ConfigError):
+            ExSampleConfig(beta0=bad)
+
+    def test_replace_preserves_vector_priors(self):
+        import numpy as np
+
+        base = ExSampleConfig(alpha0=[0.1, 2.0])
+        changed = base.replace(batch_size=8)
+        assert np.array_equal(changed.alpha0, base.alpha0)
+        assert changed.batch_size == 8

@@ -402,3 +402,42 @@ class TestExSampleSearcher:
         trace_b = ExSampleSearcher(env_b, ExSampleConfig(seed=5)).run(result_limit=10)
         assert np.array_equal(trace_a.chunks, trace_b.chunks)
         assert np.array_equal(trace_a.frames, trace_b.frames)
+
+
+class TestVectorPriorSearcher:
+    """Per-chunk priors (warm starts from the repository index)."""
+
+    def _env(self, n_chunks=4, size=50):
+        return CallbackEnvironment(
+            [size] * n_chunks,
+            lambda c, f: Observation(d0=int(c == 1), d1=0,
+                                     results=[f] * int(c == 1), cost=1.0),
+        )
+
+    def test_right_length_vector_prior_runs(self):
+        env = self._env(n_chunks=4)
+        config = ExSampleConfig(
+            seed=0, alpha0=np.full(4, 0.1), beta0=np.full(4, 1.0)
+        )
+        searcher = ExSampleSearcher(env, config)
+        trace = searcher.run(result_limit=5)
+        assert trace.num_results >= 5
+
+    def test_informative_prior_steers_first_draws(self):
+        env = self._env(n_chunks=4)
+        config = ExSampleConfig(
+            seed=0,
+            alpha0=np.array([0.01, 50.0, 0.01, 0.01]),
+            beta0=np.full(4, 1.0),
+        )
+        searcher = ExSampleSearcher(env, config)
+        trace = searcher.run(frame_budget=20)
+        counts = np.bincount(trace.chunks, minlength=4)
+        assert counts[1] > counts.sum() * 0.5
+
+    @pytest.mark.parametrize("name", ["alpha0", "beta0"])
+    def test_rejects_wrong_length_vector_prior(self, name):
+        env = self._env(n_chunks=4)
+        config = ExSampleConfig(seed=0, **{name: np.full(3, 0.5)})
+        with pytest.raises(ConfigError, match="3 entries but the environment"):
+            ExSampleSearcher(env, config)

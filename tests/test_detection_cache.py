@@ -336,3 +336,100 @@ class TestCheckpointDoesNotLeakCache:
         engine.detector.detect_batch([0] * 400, list(range(400)))
         stuffed = len(session.checkpoint())
         assert stuffed <= lean * 1.05 + 1024
+
+
+class TestSnapshotPersistence:
+    """save()/load() round-trips: explicit, digest-checked, scope-pinned."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_tiny_dataset(seed=11)
+
+    def _warm_engine(self, dataset, seed=2):
+        engine = QueryEngine(dataset, seed=seed, detection_cache="unbounded")
+        engine.run(DistinctObjectQuery("car", limit=5), method="exsample")
+        return engine
+
+    def test_snapshot_filters_by_scope(self):
+        cache = DetectionCache()
+        cache.put(("s1", 0, 1, None), ["a"])
+        cache.put(("s2", 0, 1, None), ["b"])
+        assert set(cache.snapshot()) == {("s1", 0, 1, None), ("s2", 0, 1, None)}
+        assert set(cache.snapshot("s1")) == {("s1", 0, 1, None)}
+        # Reading snapshots never perturbs the statistics.
+        assert cache.info().requests == 0
+
+    def test_save_load_round_trip(self, dataset, tmp_path):
+        engine = self._warm_engine(dataset)
+        cache = engine.detection_cache
+        path = str(tmp_path / "cache.bin")
+        written = cache.save(path)
+        assert written == len(cache) > 0
+        loaded = DetectionCache.load(path, detector=engine.detector)
+        assert len(loaded) == len(cache)
+        for key, value in cache.snapshot().items():
+            assert [_det_key(d) for d in loaded.snapshot()[key]] == [
+                _det_key(d) for d in value
+            ]
+        assert loaded.policy == cache.policy
+        # No temp files left behind by the atomic write.
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.bin"]
+
+    def test_loaded_cache_serves_a_fresh_engine(self, dataset, tmp_path):
+        engine = self._warm_engine(dataset)
+        path = str(tmp_path / "cache.bin")
+        engine.detection_cache.save(path)
+        fresh = QueryEngine(
+            dataset,
+            seed=2,
+            detection_cache=DetectionCache.load(path),
+        )
+        reference = self._warm_engine(dataset).run(
+            DistinctObjectQuery("car", limit=5), method="exsample"
+        )
+        outcome = fresh.run(DistinctObjectQuery("car", limit=5),
+                            method="exsample")
+        assert _trace_tuple(outcome.trace) == _trace_tuple(reference.trace)
+        info = fresh.cache_info()
+        assert info.hits > 0 and info.misses == 0
+
+    def test_load_refuses_foreign_detector_scope(self, dataset, tmp_path):
+        engine = self._warm_engine(dataset)
+        path = str(tmp_path / "cache.bin")
+        engine.detection_cache.save(path)
+        other = QueryEngine(dataset, seed=9)  # different detector seed
+        with pytest.raises(ConfigError, match="refusing to load"):
+            DetectionCache.load(path, detector=other.detector)
+        # Without a detector pin the load is allowed (scoped keys still
+        # make the stale rows unreachable for any other detector).
+        DetectionCache.load(path)
+
+    def test_load_rejects_corruption_and_junk(self, dataset, tmp_path):
+        engine = self._warm_engine(dataset)
+        path = tmp_path / "cache.bin"
+        engine.detection_cache.save(str(path))
+        envelope = pickle.loads(path.read_bytes())
+        payload = bytearray(envelope["payload"])
+        payload[-3] ^= 0xFF  # flip a payload byte; digest now disagrees
+        envelope["payload"] = bytes(payload)
+        corrupt = tmp_path / "corrupt.bin"
+        corrupt.write_bytes(pickle.dumps(envelope))
+        with pytest.raises(ConfigError, match="digest"):
+            DetectionCache.load(str(corrupt))
+        junk = tmp_path / "junk.bin"
+        junk.write_bytes(b"not a snapshot")
+        with pytest.raises(ConfigError):
+            DetectionCache.load(str(junk))
+        versioned = tmp_path / "versioned.bin"
+        versioned.write_bytes(pickle.dumps({"version": 99}))
+        with pytest.raises(ConfigError, match="version"):
+            DetectionCache.load(str(versioned))
+
+    def test_lru_capacity_survives_round_trip(self, tmp_path):
+        cache = DetectionCache(policy="lru", capacity=7)
+        cache.put(("s", 0, 1, None), ["x"])
+        path = str(tmp_path / "lru.bin")
+        cache.save(path)
+        loaded = DetectionCache.load(path)
+        assert (loaded.policy, loaded.capacity) == ("lru", 7)
+        assert len(loaded) == 1
