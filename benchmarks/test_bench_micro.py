@@ -1008,3 +1008,102 @@ def test_repository_index_warm_start(tmp_path):
     assert blob_identical, (
         "replayed outcome pickle differs from the recorded run's bytes"
     )
+
+
+def test_crash_recovery():
+    """A mid-search SIGKILL costs at most ``checkpoint_every`` redone steps.
+
+    One supervised shard runs a budgeted search while the chaos harness
+    kills the shard process after 7 fulfilled steps. The router relaunches
+    the shard, resumes the session from its latest recovery-table
+    checkpoint (taken every 2 steps), and the final outcome must be
+    byte-identical to a solo ``engine.run``. Gates are on correctness —
+    the redo ledger stays within ``checkpoint_every`` per recovery and the
+    trace is unchanged; the clean-vs-crash wall times are recorded for the
+    perf trajectory but not gated (detection latency is timer-dependent).
+    """
+    import asyncio
+
+    from repro.query.query import DistinctObjectQuery
+    from repro.serving.faults import FaultPlan, FaultSpec
+    from repro.serving.fleet import FleetRouter
+    from repro.serving.workload import WorkloadItem
+
+    seed = 7
+    checkpoint_every = 2
+    dataset_kwargs = dict(name="dashcam", scale=0.02, seed=seed)
+    item = WorkloadItem(
+        object="person", frame_budget=200, batch_size=8, run_seed=5
+    )
+
+    async def replay_once(faults):
+        router = await FleetRouter.launch(
+            make_dataset(**dataset_kwargs),
+            n_shards=1,
+            engine_seed=seed,
+            checkpoint_every=checkpoint_every,
+            heartbeat_interval=0.05,
+            heartbeat_timeout=0.5,
+            faults=faults,
+        )
+        try:
+            start = time.perf_counter()
+            handle = await router.submit(item)
+            outcome = await handle.result()
+            elapsed = time.perf_counter() - start
+            stats = await router.stats()
+        finally:
+            await router.shutdown()
+        return outcome, stats, elapsed
+
+    clean_outcome, _, t_clean = asyncio.run(replay_once(None))
+    kill = FaultPlan((FaultSpec(kind="kill", shard=0, after_steps=7),))
+    crash_outcome, stats, t_crash = asyncio.run(replay_once(kill))
+
+    solo = QueryEngine(make_dataset(**dataset_kwargs), seed=seed).run(
+        item.query(), run_seed=item.run_seed, batch_size=item.batch_size
+    )
+    for outcome in (clean_outcome, crash_outcome):
+        assert np.array_equal(solo.trace.chunks, outcome.trace.chunks)
+        assert np.array_equal(solo.trace.frames, outcome.trace.frames)
+        assert np.array_equal(solo.trace.costs, outcome.trace.costs)
+        assert solo.trace.results == outcome.trace.results
+
+    recoveries = stats.recovered_sessions + stats.rerun_sessions
+    assert stats.restarts >= 1, "the kill fault never tripped supervision"
+    assert recoveries >= 1
+    assert stats.redone_steps <= checkpoint_every * recoveries, (
+        f"{stats.redone_steps} steps redone across {recoveries} recoveries "
+        f"— the checkpoint cycle (every {checkpoint_every}) is not bounding "
+        f"lost work"
+    )
+
+    save_artifact(
+        "micro_crash_recovery",
+        (
+            f"crash recovery: SIGKILL after 7 steps, checkpoint every "
+            f"{checkpoint_every} (1 shard, {item.frame_budget}-frame "
+            f"budget, batch {item.batch_size})\n"
+            f"clean run:   {t_clean * 1e3:.1f} ms\n"
+            f"crashed run: {t_crash * 1e3:.1f} ms "
+            f"(+{(t_crash - t_clean) * 1e3:.1f} ms to detect + relaunch + "
+            f"resume)\n"
+            f"restarts: {stats.restarts}  recovered: "
+            f"{stats.recovered_sessions}  rerun: {stats.rerun_sessions}  "
+            f"steps redone: {stats.redone_steps} "
+            f"(bound {checkpoint_every}/recovery)\n"
+            f"outcome: byte-identical to solo engine.run"
+        ),
+    )
+    save_metric(
+        "micro_crash_recovery",
+        clean_ms=t_clean * 1e3,
+        crashed_ms=t_crash * 1e3,
+        recovery_overhead_ms=(t_crash - t_clean) * 1e3,
+        restarts=stats.restarts,
+        recovered_sessions=stats.recovered_sessions,
+        rerun_sessions=stats.rerun_sessions,
+        redone_steps=stats.redone_steps,
+        checkpoint_every=checkpoint_every,
+        identical=True,
+    )

@@ -231,6 +231,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="give each shard a private detection cache instead of the "
              "cross-process shared memo (results are unaffected)",
     )
+    fleet.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="auto-checkpoint every session every N fulfilled steps "
+             "(the crash-recovery table; a killed shard's sessions "
+             "resume from their last checkpoint, redoing at most N steps)",
+    )
+    fleet.add_argument(
+        "--max-restarts", type=int, default=2,
+        help="shard relaunches before the circuit breaker takes the "
+             "shard out of rotation (sessions move to survivors)",
+    )
     _add_index_flag(fleet)
 
     index = sub.add_parser(
@@ -630,7 +641,12 @@ def _cmd_serve(args, out) -> int:
 
 def _cmd_fleet(args, out) -> int:
     """Replay a workload across a sharded fleet of server processes."""
-    from repro.serving import FleetConfig, ServerConfig, load_workload
+    from repro.serving import (
+        FleetConfig,
+        ServerConfig,
+        load_faults,
+        load_workload,
+    )
     from repro.serving.fleet import run_fleet
 
     items = load_workload(args.workload)
@@ -656,6 +672,9 @@ def _cmd_fleet(args, out) -> int:
             policy=args.policy,
         ),
         index=args.index,
+        checkpoint_every=args.checkpoint_every,
+        max_restarts=args.max_restarts,
+        faults=load_faults(args.workload),
     )
     summaries, stats = run_fleet(
         dataset,
@@ -678,7 +697,9 @@ def _cmd_fleet(args, out) -> int:
                 summary["num_samples"],
                 summary["state"]
                 + (f" (moved x{summary['migrations']})"
-                   if summary["migrations"] else ""),
+                   if summary["migrations"] else "")
+                + (f" (recovered x{summary['recoveries']})"
+                   if summary.get("recoveries") else ""),
             )
         )
     print(

@@ -51,3 +51,33 @@ class ServerDrainingError(ReproError):
 class ProtocolError(ReproError):
     """A wire-protocol frame was malformed or violated the protocol
     (unknown op, missing field, undecodable JSON)."""
+
+
+class WireTimeoutError(ReproError):
+    """A wire-protocol request exceeded its per-op timeout. The request
+    may or may not have reached the server — only retry operations that
+    are idempotent (``ping``, ``stats``, stream re-subscription)."""
+
+
+class ShardLostError(ReproError):
+    """A fleet shard exhausted its restart budget (``max_restarts``) and
+    was taken out of rotation; sessions that could not be re-placed on a
+    surviving shard fail with this error instead of hanging forever.
+
+    ``shard`` carries the index of the lost shard when known.
+    """
+
+    def __init__(self, message: str, shard=None):
+        super().__init__(message)
+        self.shard = shard
+
+
+class FleetDegradedError(ReproError):
+    """The fleet cannot serve a request because shards are down — e.g. a
+    submission pins a dead shard, or every shard tripped its circuit
+    breaker. ``down`` lists the indexes of the unavailable shards.
+    """
+
+    def __init__(self, message: str, down=()):
+        super().__init__(message)
+        self.down = tuple(down)

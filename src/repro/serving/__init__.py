@@ -11,6 +11,11 @@ workload replay from the command line.
 """
 
 from repro.serving.batcher import BatcherStats, DetectorBatcher
+from repro.serving.faults import (
+    FaultPlan,
+    FaultSpec,
+    load_faults,
+)
 from repro.serving.fleet import (
     FleetConfig,
     FleetHandle,
@@ -23,6 +28,7 @@ from repro.serving.net import (
     FleetClient,
     NetServer,
     RemoteSession,
+    RetryPolicy,
     serve_forever,
 )
 from repro.serving.placement import (
@@ -57,6 +63,8 @@ from repro.serving.workload import (
 __all__ = [
     "BatcherStats",
     "DetectorBatcher",
+    "FaultPlan",
+    "FaultSpec",
     "FleetClient",
     "FleetConfig",
     "FleetHandle",
@@ -68,6 +76,7 @@ __all__ = [
     "PlacementPolicy",
     "QueryServer",
     "RemoteSession",
+    "RetryPolicy",
     "SCHEDULING_POLICIES",
     "SchedulingPolicy",
     "ServerConfig",
@@ -76,6 +85,7 @@ __all__ = [
     "TenantStats",
     "WorkloadItem",
     "item_from_json",
+    "load_faults",
     "load_workload",
     "make_placement_policy",
     "make_scheduling_policy",

@@ -1,0 +1,237 @@
+"""Declarative fault injection for the serving fleet (chaos harness).
+
+Fault tolerance that is never exercised is fault tolerance that does not
+exist, so the fleet ships its own chaos harness: a :class:`FaultPlan` is
+a picklable list of :class:`FaultSpec` entries installed through
+``FleetConfig(faults=...)`` (or a top-level ``"faults"`` key in a
+workload file) and shipped to each shard inside its ``_ShardSpec``. Two
+fault families cover the failure modes supervision must survive:
+
+* **process faults** trigger after ``after_steps`` fulfilled steps on
+  the shard — ``kill`` delivers SIGKILL to the shard's own process (a
+  hard crash: no drain, no goodbye frame), ``stall`` blocks the shard's
+  event loop forever (the process stays alive but stops answering
+  heartbeats — the hung-shard case, detected only by missed pings);
+* **wire faults** intercept the shard's *outbound* frames —
+  ``drop_frame`` swallows matching frames, ``corrupt_frame`` replaces
+  them with undecodable bytes (still newline-terminated, so the stream
+  stays framed), ``delay_frame`` holds them back for ``delay`` seconds.
+  ``op`` matches the frame's ``op`` or ``event`` field (None matches
+  any), and each spec fires at most ``count`` times.
+
+Process faults default to firing once per fleet: when supervision
+relaunches a killed shard, non-``repeat`` faults are pruned from the
+relaunched shard's spec, so a scripted crash does not turn into a
+crash loop that trips the circuit breaker.
+
+The headline consumer is ``tests/test_fleet_faults.py``: a mid-search
+SIGKILL recovers through the router's checkpoint table and the final
+outcomes stay byte-identical to solo ``engine.run``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "load_faults",
+]
+
+#: Process faults happen after N fulfilled steps; wire faults act on
+#: matching outbound frames.
+FAULT_KINDS = ("kill", "stall", "drop_frame", "corrupt_frame", "delay_frame")
+_PROCESS_KINDS = ("kill", "stall")
+_WIRE_KINDS = ("drop_frame", "corrupt_frame", "delay_frame")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault. Picklable; validated on construction."""
+
+    kind: str
+    #: Shard index the fault arms on; None arms it on every shard.
+    shard: Optional[int] = None
+    #: Process faults: trigger once the shard has fulfilled this many
+    #: steps (across all its sessions). Must be >= 1 — a shard that
+    #: never steps never triggers.
+    after_steps: int = 1
+    #: Wire faults: match outbound frames whose ``op`` or ``event``
+    #: equals this (None matches every frame).
+    op: Optional[str] = None
+    #: Wire faults: how many matching frames to affect.
+    count: int = 1
+    #: delay_frame only: seconds to hold a matching frame back.
+    delay: float = 0.05
+    #: Re-arm on a relaunched shard. Default False: a scripted crash
+    #: fires once per fleet, not once per restart.
+    repeat: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if self.shard is not None and self.shard < 0:
+            raise ConfigError("fault shard must be >= 0")
+        if self.kind in _PROCESS_KINDS and self.after_steps < 1:
+            raise ConfigError("after_steps must be >= 1")
+        if self.count < 1:
+            raise ConfigError("fault count must be >= 1")
+        if self.delay < 0:
+            raise ConfigError("fault delay must be >= 0")
+
+    @classmethod
+    def from_json(cls, raw: dict) -> "FaultSpec":
+        if not isinstance(raw, dict):
+            raise ConfigError(f"fault entries must be objects, got {raw!r}")
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(raw) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown fault fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**raw)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, picklable collection of :class:`FaultSpec` entries."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise ConfigError(
+                    f"FaultPlan entries must be FaultSpec, got {spec!r}"
+                )
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @classmethod
+    def from_json(cls, raw) -> "FaultPlan":
+        if not isinstance(raw, (list, tuple)):
+            raise ConfigError("'faults' must be a list of fault objects")
+        return cls(tuple(FaultSpec.from_json(entry) for entry in raw))
+
+    def for_shard(self, index: int) -> Tuple[FaultSpec, ...]:
+        """The specs armed on shard ``index``."""
+        return tuple(
+            spec for spec in self.specs
+            if spec.shard is None or spec.shard == index
+        )
+
+    def surviving_relaunch(self, index: int) -> Tuple[FaultSpec, ...]:
+        """The specs a *relaunched* shard ``index`` re-arms (repeat=True)."""
+        return tuple(spec for spec in self.for_shard(index) if spec.repeat)
+
+
+def load_faults(path: Union[str, Path]) -> Optional[FaultPlan]:
+    """The :class:`FaultPlan` in a workload file's ``"faults"`` key.
+
+    Returns None when the file is a bare query list or has no faults —
+    the common case; ``repro fleet`` calls this on every workload.
+    """
+    payload = json.loads(Path(path).read_text())
+    if isinstance(payload, dict) and payload.get("faults"):
+        return FaultPlan.from_json(payload["faults"])
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Shard-side installation.
+# ---------------------------------------------------------------------------
+
+
+class _StepFaults:
+    """Counts fulfilled steps process-wide and triggers process faults."""
+
+    def __init__(self, specs):
+        self.specs = sorted(
+            (s for s in specs if s.kind in _PROCESS_KINDS),
+            key=lambda s: s.after_steps,
+        )
+        self.steps = 0
+
+    def __call__(self, handle) -> None:
+        self.steps += 1
+        while self.specs and self.steps >= self.specs[0].after_steps:
+            spec = self.specs.pop(0)
+            if spec.kind == "kill":
+                # A hard crash: no flush, no goodbye. SIGKILL cannot be
+                # caught, so this is exactly what a OOM-kill or machine
+                # loss looks like to the router.
+                os.kill(os.getpid(), signal.SIGKILL)
+            else:  # stall: wedge the event loop; stay alive but silent.
+                while True:  # pragma: no cover - killed by the router
+                    time.sleep(60)
+
+
+@dataclass
+class WireFaults:
+    """Mutable wire-fault state: which outbound frames to mangle."""
+
+    specs: list = field(default_factory=list)
+    dropped: int = 0
+    corrupted: int = 0
+    delayed: int = 0
+
+    def outbound(self, frame: dict):
+        """The action for one outbound frame.
+
+        Returns None (send as-is), ``"drop"``, ``"corrupt"``, or a float
+        delay in seconds. First matching spec wins; specs expire after
+        ``count`` firings.
+        """
+        label = frame.get("op") or frame.get("event")
+        for index, (spec, remaining) in enumerate(self.specs):
+            if spec.op is not None and spec.op != label:
+                continue
+            if remaining <= 1:
+                del self.specs[index]
+            else:
+                self.specs[index] = (spec, remaining - 1)
+            if spec.kind == "drop_frame":
+                self.dropped += 1
+                return "drop"
+            if spec.kind == "corrupt_frame":
+                self.corrupted += 1
+                return "corrupt"
+            self.delayed += 1
+            return spec.delay
+        return None
+
+
+def install_faults(net_server, specs) -> None:
+    """Arm ``specs`` on a :class:`~repro.serving.net.NetServer`.
+
+    Process faults hook the query server's per-step callback; wire
+    faults attach to the server's outbound connection queues.
+    """
+    specs = tuple(specs)
+    step_specs = [s for s in specs if s.kind in _PROCESS_KINDS]
+    wire_specs = [s for s in specs if s.kind in _WIRE_KINDS]
+    if step_specs:
+        net_server.query_server.on_step = _StepFaults(step_specs)
+    if wire_specs:
+        net_server._wire_faults = WireFaults(
+            [(spec, spec.count) for spec in wire_specs]
+        )

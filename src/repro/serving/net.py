@@ -17,9 +17,10 @@ it); ops that address a session carry its submission id ``sid``::
     {"op": "pause",      "rid": "r2", "sid": "q1"}
     {"op": "checkpoint", "rid": "r3", "sid": "q1"}
     {"op": "restore",    "rid": "r4", "sid": "q2", "checkpoint": "<b64>"}
-    {"op": "stats",      "rid": "r5"}
-    {"op": "drain",      "rid": "r6", "checkpoint": false}
-    {"op": "shutdown",   "rid": "r7"}
+    {"op": "evict",      "rid": "r5", "sid": "q1"}
+    {"op": "stats",      "rid": "r6"}
+    {"op": "drain",      "rid": "r7", "checkpoint": false}
+    {"op": "shutdown",   "rid": "r8"}
 
 Server frames are responses (``{"rid": ..., "ok": true, ...}``), typed
 error frames (``{"rid": ..., "error": "ServerOverloadedError",
@@ -39,6 +40,15 @@ checkpoint → restore against another server is the live-migration
 primitive. A draining server answers ``submit`` with a typed
 ``ServerDrainingError`` frame instead of dropping the connection.
 
+Both ends tolerate a hostile wire: the server answers a non-JSON or
+oversized line with a typed ``ProtocolError`` frame (counting it in
+``wire_errors``) instead of dropping the connection, and the client
+skips undecodable inbound frames, applies per-op timeouts
+(:class:`~repro.errors.WireTimeoutError`), retries idempotent ops with
+bounded jittered backoff (:class:`RetryPolicy`), and can
+:meth:`~FleetClient.reconnect` and re-subscribe to live sessions by
+their server-assigned ``gid`` (:meth:`~FleetClient.attach`).
+
 Like session checkpoints, the protocol moves pickled payloads between
 processes that trust each other (shards of one fleet); do not expose the
 port beyond that trust boundary.
@@ -51,10 +61,16 @@ import base64
 import dataclasses
 import json
 import pickle
+import random
 from typing import Dict, Optional, Set
 
 import repro.errors as _errors
-from repro.errors import ProtocolError, QueryError, ReproError
+from repro.errors import (
+    ProtocolError,
+    QueryError,
+    ReproError,
+    WireTimeoutError,
+)
 from repro.query.session import QuerySession, peek_checkpoint
 from repro.serving.server import QueryServer, ServerConfig, ServerStats
 from repro.serving.workload import WorkloadItem, item_from_json
@@ -64,6 +80,7 @@ __all__ = [
     "NetServer",
     "PROTOCOL_VERSION",
     "RemoteSession",
+    "RetryPolicy",
     "stats_to_jsonable",
 ]
 
@@ -80,6 +97,37 @@ _STREAM_LIMIT = 64 * 1024 * 1024
 
 def _encode_frame(frame: dict) -> bytes:
     return json.dumps(frame, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+#: Marker returned by :func:`_read_frame_line` for an over-limit line.
+_OVERSIZED = object()
+
+
+async def _read_frame_line(reader: asyncio.StreamReader):
+    """One newline-terminated frame, ``b""`` at EOF, or :data:`_OVERSIZED`.
+
+    ``readline()`` raises ``ValueError`` on an over-limit line *and*
+    leaves the stream unframed, killing the connection. This variant
+    discards the oversized line up to and including its newline, so the
+    caller can answer with a typed error frame and keep serving the
+    same connection.
+    """
+    try:
+        return await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        return exc.partial  # b"" at clean EOF
+    except asyncio.LimitOverrunError as exc:
+        overrun = exc.consumed
+        while True:
+            try:
+                await reader.readexactly(overrun)
+                await reader.readuntil(b"\n")
+            except asyncio.IncompleteReadError:
+                return b""
+            except asyncio.LimitOverrunError as again:
+                overrun = again.consumed
+                continue
+            return _OVERSIZED
 
 
 def _error_frame(rid, exc: BaseException) -> dict:
@@ -121,16 +169,35 @@ class _Connection:
     the connection, so they keep running.
     """
 
-    def __init__(self, writer: asyncio.StreamWriter):
+    def __init__(self, writer: asyncio.StreamWriter, faults=None):
         self.writer = writer
         self.closed = False
         self.sessions: Dict[str, object] = {}  # sid -> SessionHandle
+        #: Optional WireFaults (repro.serving.faults): chaos tests mangle
+        #: outbound frames here, the one choke point every frame crosses.
+        self.faults = faults
+        self._loop = asyncio.get_running_loop()
         self._queue: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
         self._writer_task = asyncio.create_task(self._write_loop())
 
     def send(self, frame: dict) -> None:
-        if not self.closed:
-            self._queue.put_nowait(_encode_frame(frame))
+        if self.closed:
+            return
+        data = _encode_frame(frame)
+        if self.faults is not None:
+            action = self.faults.outbound(frame)
+            if action == "drop":
+                return
+            if action == "corrupt":
+                # Undecodable but still newline-terminated: the stream
+                # stays framed, so clients must skip it, not die.
+                data = b'\x00<<corrupted-frame>>\n'
+            elif action is not None:
+                self._loop.call_later(
+                    float(action), self._queue.put_nowait, data
+                )
+                return
+        self._queue.put_nowait(data)
 
     async def _write_loop(self) -> None:
         try:
@@ -173,15 +240,32 @@ class NetServer:
         config: Optional[ServerConfig] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        line_limit: int = _STREAM_LIMIT,
+        faults=None,
     ):
         self.engine = engine
         self.query_server = QueryServer(engine, config)
         self.host = host
         self.port = port
+        self.line_limit = line_limit
+        #: Malformed (non-JSON / oversized) inbound lines answered with a
+        #: typed error frame instead of a dropped connection.
+        self.wire_errors = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._conns: Set[_Connection] = set()
         self._op_tasks: Set[asyncio.Task] = set()
         self._closed: Optional[asyncio.Event] = None
+        # Server-assigned global session ids: unlike sids (per
+        # connection), a gid survives the connection that created it, so
+        # a reconnecting client can re-subscribe via the attach op.
+        self._registry: Dict[str, object] = {}
+        self._gid_counter = 0
+        self._wire_faults = None
+        if faults:
+            from repro.serving.faults import install_faults
+
+            install_faults(self, faults)
 
     async def __aenter__(self) -> "NetServer":
         await self.start()
@@ -194,7 +278,7 @@ class NetServer:
         self._closed = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port,
-            limit=_STREAM_LIMIT,
+            limit=self.line_limit,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         return self
@@ -234,11 +318,21 @@ class NetServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        conn = _Connection(writer)
+        conn = _Connection(writer, faults=self._wire_faults)
         self._conns.add(conn)
         try:
             while True:
-                line = await reader.readline()
+                line = await _read_frame_line(reader)
+                if line is _OVERSIZED:
+                    # One oversized line answers with a typed error frame
+                    # — the stream stays framed (the line was discarded
+                    # through its newline), so the connection lives on.
+                    self.wire_errors += 1
+                    conn.send(_error_frame(None, ProtocolError(
+                        f"frame exceeds the {self.line_limit}-byte "
+                        "line limit"
+                    )))
+                    continue
                 if not line:
                     break
                 if not line.strip():
@@ -246,9 +340,7 @@ class NetServer:
                 task = asyncio.create_task(self._dispatch(conn, line))
                 self._op_tasks.add(task)
                 task.add_done_callback(self._op_tasks.discard)
-        except (ConnectionError, asyncio.CancelledError, ValueError):
-            # ValueError: a line beyond _STREAM_LIMIT — unrecoverable
-            # mid-stream, so treat like a lost peer.
+        except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
             # The socket is gone; detach event sinks so finished steps
@@ -264,8 +356,10 @@ class NetServer:
             try:
                 frame = json.loads(line)
             except json.JSONDecodeError as exc:
+                self.wire_errors += 1
                 raise ProtocolError(f"undecodable frame: {exc}") from exc
             if not isinstance(frame, dict) or "op" not in frame:
+                self.wire_errors += 1
                 raise ProtocolError("frames must be objects with an 'op'")
             rid = frame.get("rid")
             op = frame["op"]
@@ -384,7 +478,13 @@ class NetServer:
                 **kwargs,
             )
         conn.sessions[sid] = handle
-        conn.send({"rid": rid, "ok": True, "op": frame["op"], "sid": sid})
+        self._gid_counter += 1
+        gid = f"g{self._gid_counter}"
+        self._registry[gid] = handle
+        conn.send(
+            {"rid": rid, "ok": True, "op": frame["op"], "sid": sid,
+             "gid": gid}
+        )
         task = asyncio.create_task(self._watch_terminal(conn, sid, handle))
         self._op_tasks.add(task)
         task.add_done_callback(self._op_tasks.discard)
@@ -423,6 +523,35 @@ class NetServer:
         session = QuerySession.restore(blob)
         await self._admit(conn, rid, frame, session=session)
 
+    async def _op_attach(self, conn, rid, frame) -> None:
+        """Re-subscribe to a live (or finished) session after a reconnect.
+
+        The session is addressed by the server-assigned ``gid`` from its
+        submit/restore ack — sids are per-connection, gids are not. The
+        attach re-wires streaming (if asked) and re-arms the terminal
+        frame on this connection, so a client that lost its socket
+        mid-session picks the outcome up without redoing any work.
+        """
+        sid = frame.get("sid")
+        if not isinstance(sid, str) or not sid:
+            raise ProtocolError("attach frames need a string 'sid'")
+        if sid in conn.sessions:
+            raise ProtocolError(f"sid {sid!r} is already in use")
+        gid = frame.get("gid")
+        handle = self._registry.get(gid)
+        if handle is None:
+            raise ProtocolError(f"unknown session gid {gid!r}")
+        if frame.get("stream"):
+            handle.event_sink = self._event_sink(conn, sid)
+        conn.sessions[sid] = handle
+        conn.send(
+            {"rid": rid, "ok": True, "op": "attach", "sid": sid,
+             "gid": gid, "state": handle.state}
+        )
+        task = asyncio.create_task(self._watch_terminal(conn, sid, handle))
+        self._op_tasks.add(task)
+        task.add_done_callback(self._op_tasks.discard)
+
     async def _op_pause(self, conn, rid, frame) -> None:
         handle = self._handle_for(conn, frame)
         handle.pause()
@@ -456,6 +585,16 @@ class NetServer:
             }
         )
 
+    async def _op_evict(self, conn, rid, frame) -> None:
+        handle = self._handle_for(conn, frame)
+        if not self.query_server.evict(handle):
+            raise QueryError(
+                "session is still running; only terminal sessions "
+                "(finished, failed or paused) can be evicted"
+            )
+        conn.sessions.pop(frame["sid"], None)
+        conn.send({"rid": rid, "ok": True, "op": "evict", "sid": frame["sid"]})
+
     async def _op_stats(self, conn, rid, frame) -> None:
         cache = getattr(self.engine, "detection_cache", None)
         publish = getattr(cache, "publish_counters", None)
@@ -464,12 +603,14 @@ class NetServer:
             # (SharedDetectionCache.aggregate_info); publishing here makes
             # every stats round-trip refresh this shard's row.
             publish()
+        payload = stats_to_jsonable(self.query_server.stats())
+        payload["wire_errors"] = self.wire_errors
         conn.send(
             {
                 "rid": rid,
                 "ok": True,
                 "op": "stats",
-                "stats": stats_to_jsonable(self.query_server.stats()),
+                "stats": payload,
             }
         )
 
@@ -498,14 +639,18 @@ async def serve_forever(
     port: int = 0,
     config: Optional[ServerConfig] = None,
     ready=None,
+    faults=None,
 ) -> None:
     """Run a :class:`NetServer` until a client sends ``shutdown``.
 
     ``ready`` is an optional callable invoked with the bound port once
     the socket is listening — how shard processes report their ephemeral
-    port to the router that spawned them.
+    port to the router that spawned them. ``faults`` arms a sequence of
+    :class:`~repro.serving.faults.FaultSpec` on this server (chaos
+    testing).
     """
-    server = NetServer(engine, config=config, host=host, port=port)
+    server = NetServer(engine, config=config, host=host, port=port,
+                       faults=faults)
     await server.start()
     if ready is not None:
         ready(server.port)
@@ -515,6 +660,33 @@ async def serve_forever(
 # ---------------------------------------------------------------------------
 # The client.
 # ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter for idempotent ops.
+
+    ``attempts`` bounds the total tries (first try included); waits grow
+    ``base_delay * 2**n`` capped at ``max_delay``, plus up to ``jitter``
+    (a fraction of the computed delay) of uniform noise so a fleet of
+    retrying clients does not thunder in lockstep.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 1.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise _errors.ConfigError("retry attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise _errors.ConfigError("retry delays must be >= 0")
+
+    def backoff(self, attempt: int) -> float:
+        """The wait before retry number ``attempt`` (0-based)."""
+        delay = min(self.base_delay * (2 ** attempt), self.max_delay)
+        return delay + random.uniform(0.0, self.jitter * delay)
 
 
 class RemoteSession:
@@ -531,6 +703,10 @@ class RemoteSession:
     def __init__(self, client: "FleetClient", sid: str):
         self.client = client
         self.sid = sid
+        #: Server-assigned global session id (from the submit/restore
+        #: ack): survives the connection, so after a reconnect
+        #: :meth:`FleetClient.attach` re-subscribes with it.
+        self.gid: Optional[str] = None
         self.events_queue: "asyncio.Queue[Optional[dict]]" = asyncio.Queue()
         self._terminal: "asyncio.Future[dict]" = (
             asyncio.get_running_loop().create_future()
@@ -579,6 +755,17 @@ class RemoteSession:
         )
         return base64.b64decode(response["checkpoint"])
 
+    async def evict(self) -> None:
+        """Drop this terminal session from the server's stats history.
+
+        Frees the shard-side record (which pins the whole session) once
+        the caller has everything it needs — the checkpoint cycle and
+        migration call this on each superseded incarnation so long-lived
+        fleets do not accumulate one paused ghost per checkpoint.
+        """
+        await self.client._request({"op": "evict", "sid": self.sid})
+        self.client._sessions.pop(self.sid, None)
+
 
 class FleetClient:
     """Protocol client for one :class:`NetServer` (one shard).
@@ -588,22 +775,56 @@ class FleetClient:
     event frames to their :class:`RemoteSession`.
     """
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        op_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self._reader = reader
         self._writer = writer
+        self.host = host
+        self.port = port
+        #: Default per-request timeout (None: wait forever). A timed-out
+        #: request raises :class:`~repro.errors.WireTimeoutError`.
+        self.op_timeout = op_timeout
+        self.retry = retry or RetryPolicy()
+        #: Operations re-issued after a transport failure or timeout.
+        self.retries = 0
+        #: Undecodable inbound frames skipped (corrupt lines).
+        self.wire_errors = 0
+        self._closing = False
         self._pending: Dict[str, asyncio.Future] = {}
         self._sessions: Dict[str, RemoteSession] = {}
         self._counter = 0
         self._read_task = asyncio.create_task(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "FleetClient":
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        op_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> "FleetClient":
         reader, writer = await asyncio.open_connection(
             host, port, limit=_STREAM_LIMIT
         )
-        return cls(reader, writer)
+        return cls(reader, writer, host=host, port=port,
+                   op_timeout=op_timeout, retry=retry)
+
+    @property
+    def connected(self) -> bool:
+        """False once the reader task died (connection lost or closed)."""
+        return not self._read_task.done() and not self._closing
 
     async def close(self) -> None:
+        self._closing = True
         self._read_task.cancel()
         try:
             await self._read_task
@@ -612,8 +833,38 @@ class FleetClient:
         self._writer.close()
         try:
             await self._writer.wait_closed()
-        except ConnectionError:
+        except (ConnectionError, OSError):
             pass
+
+    async def reconnect(self) -> None:
+        """Re-open the TCP connection to the same server.
+
+        Pending requests and un-terminal sessions on the dropped
+        connection fail with ``ConnectionError`` — the server keeps
+        running their sessions, so callers re-subscribe with
+        :meth:`attach` using each session's ``gid``. Only clients built
+        by :meth:`connect` (which know their address) can reconnect.
+        """
+        if self._closing:
+            raise ConnectionError("client is closed")
+        if self.host is None or self.port is None:
+            raise ConnectionError(
+                "client was built from raw streams; cannot reconnect"
+            )
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=_STREAM_LIMIT
+        )
+        self._read_task = asyncio.create_task(self._read_loop())
 
     # -- plumbing ------------------------------------------------------------
 
@@ -627,7 +878,16 @@ class FleetClient:
                 line = await self._reader.readline()
                 if not line:
                     break
-                frame = json.loads(line)
+                try:
+                    frame = json.loads(line)
+                except ValueError:
+                    # One corrupt line must not unframe the client:
+                    # newlines delimit frames, so skip it and read on.
+                    self.wire_errors += 1
+                    continue
+                if not isinstance(frame, dict):
+                    self.wire_errors += 1
+                    continue
                 if "event" in frame:
                     session = self._sessions.get(frame.get("sid"))
                     if session is None:
@@ -648,34 +908,97 @@ class FleetClient:
             # ValueError: either way the stream is unframed from here on.
             pass
         finally:
-            dead = ConnectionError("connection to server lost")
+            # A fresh exception instance per future: re-raising a shared
+            # one from several awaiters splices their tracebacks together.
+            # Mark each retrieved immediately (``.exception()`` clears the
+            # log flag, later awaiters still raise): recovery routinely
+            # abandons a dead generation's in-flight requests, and every
+            # abandoned future would otherwise print "exception was never
+            # retrieved" at garbage collection.
             for future in self._pending.values():
                 if not future.done():
-                    future.set_exception(dead)
+                    future.set_exception(
+                        ConnectionError("connection to server lost")
+                    )
+                    future.exception()
             self._pending.clear()
             for session in self._sessions.values():
                 if not session._terminal.done():
                     session._terminal.set_exception(
                         ConnectionError("connection to server lost")
                     )
+                    session._terminal.exception()
                 session.events_queue.put_nowait(None)
 
-    async def _request(self, frame: dict) -> dict:
+    async def _request(
+        self, frame: dict, *, timeout: Optional[float] = -1.0
+    ) -> dict:
+        """One request/response round-trip with a per-op timeout.
+
+        ``timeout=-1.0`` (the default sentinel) means "use this client's
+        ``op_timeout``"; None waits forever.
+        """
+        if timeout is not None and timeout < 0:
+            timeout = self.op_timeout
         rid = self._next_id("r")
         frame = dict(frame, rid=rid)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[rid] = future
-        self._writer.write(_encode_frame(frame))
-        await self._writer.drain()
-        response = await future
+        try:
+            self._writer.write(_encode_frame(frame))
+            await self._writer.drain()
+            if timeout is None:
+                response = await future
+            else:
+                response = await asyncio.wait_for(future, timeout)
+        except (asyncio.TimeoutError, TimeoutError) as exc:
+            self._pending.pop(rid, None)
+            raise WireTimeoutError(
+                f"op {frame.get('op')!r} timed out after {timeout:g}s"
+            ) from exc
+        except (ConnectionError, OSError):
+            self._pending.pop(rid, None)
+            raise
         if "error" in response:
             _raise_typed(response)
         return response
 
+    async def _request_retrying(self, frame: dict) -> dict:
+        """Issue an *idempotent* request, retrying transport failures.
+
+        Reconnects (when the connection died and this client knows its
+        address) and backs off per :class:`RetryPolicy` between tries.
+        Typed server errors are not retried — those are answers.
+        """
+        policy = self.retry
+        last: Optional[BaseException] = None
+        for attempt in range(policy.attempts):
+            if attempt:
+                self.retries += 1
+                await asyncio.sleep(policy.backoff(attempt - 1))
+            if self._read_task.done() and not self._closing:
+                try:
+                    await self.reconnect()
+                except (ConnectionError, OSError) as exc:
+                    last = exc
+                    continue
+            try:
+                return await self._request(frame)
+            except (WireTimeoutError, ConnectionError, OSError) as exc:
+                last = exc
+        assert last is not None
+        raise last
+
     # -- the protocol surface ------------------------------------------------
 
-    async def ping(self) -> dict:
-        return await self._request({"op": "ping"})
+    async def ping(
+        self, *, timeout: Optional[float] = -1.0, retrying: bool = True
+    ) -> dict:
+        """Round-trip a ping; with ``retrying=False`` exactly one try
+        (how heartbeat monitors count misses themselves)."""
+        if not retrying:
+            return await self._request({"op": "ping"}, timeout=timeout)
+        return await self._request_retrying({"op": "ping"})
 
     async def submit(
         self,
@@ -741,20 +1064,41 @@ class FleetClient:
             frame["pause_after"] = pause_after
         return await self._admit(frame)
 
+    async def attach(self, gid: str, *, stream: bool = False) -> RemoteSession:
+        """Re-subscribe to a session by its server-assigned ``gid``.
+
+        The stream re-subscription path after :meth:`reconnect`: the
+        server re-arms the terminal frame (and, with ``stream=True``,
+        the event stream) on the current connection, returning a fresh
+        :class:`RemoteSession` for a session that never stopped running.
+        """
+        frame = {
+            "op": "attach",
+            "sid": self._next_id("q"),
+            "gid": gid,
+            "stream": stream,
+        }
+        return await self._admit(frame)
+
     async def _admit(self, frame: dict) -> RemoteSession:
         session = RemoteSession(self, frame["sid"])
         self._sessions[frame["sid"]] = session
         try:
-            await self._request(frame)
+            response = await self._request(frame)
         except BaseException:
             self._sessions.pop(frame["sid"], None)
             session.events_queue.put_nowait(None)
             raise
+        session.gid = response.get("gid", frame.get("gid"))
         return session
 
     async def stats(self) -> dict:
-        """The server's :class:`ServerStats`, as JSON primitives."""
-        response = await self._request({"op": "stats"})
+        """The server's :class:`ServerStats`, as JSON primitives.
+
+        Idempotent, so transport failures retry per this client's
+        :class:`RetryPolicy`.
+        """
+        response = await self._request_retrying({"op": "stats"})
         return response["stats"]
 
     async def drain(self, checkpoint: bool = False) -> None:

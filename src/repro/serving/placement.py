@@ -70,7 +70,13 @@ class LeastLoadedPolicy(PlacementPolicy):
     name = "least_loaded"
 
     def choose(self, item, shards: Sequence) -> int:
-        return min(shards, key=lambda s: (s.active, s.index)).index
+        # Return the *position* in the passed sequence, not the shard's
+        # own fleet index — supervision hands policies the live subset,
+        # where positions and fleet indexes can differ.
+        return min(
+            range(len(shards)),
+            key=lambda i: (shards[i].active, shards[i].index),
+        )
 
 
 #: Registry of available placement policies (name -> factory).

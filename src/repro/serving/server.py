@@ -336,6 +336,10 @@ class QueryServer:
         self._direct_detector_calls = 0
         self._direct_detector_frames = 0
         self._draining = False
+        # Optional callable(handle) invoked after every fulfilled step,
+        # server-wide — the seam fault injection (repro.serving.faults)
+        # uses to crash or stall a shard after N steps. May not await.
+        self.on_step = None
 
     # -- submission ----------------------------------------------------------
 
@@ -497,6 +501,22 @@ class QueryServer:
         self._handles = [h for h in self._handles if not h.done]
         return before - len(self._handles)
 
+    def evict(self, handle: SessionHandle) -> bool:
+        """Forget one terminal session; ``False`` if it is still running.
+
+        The targeted form of :meth:`evict_finished`, for callers holding
+        other sessions whose stats history must survive — the fleet's
+        checkpoint cycle evicts each superseded incarnation this way
+        without touching its neighbours' paused sessions.
+        """
+        if not handle.done:
+            return False
+        try:
+            self._handles.remove(handle)
+        except ValueError:
+            return False
+        return True
+
     def stats(self) -> ServerStats:
         """Aggregate server/batcher/cache statistics (point in time)."""
         batcher = self._batcher.stats
@@ -632,6 +652,8 @@ class QueryServer:
                 if handle.event_sink is not None:
                     handle.event_sink(handle, step)
                 handle.steps += 1
+                if self.on_step is not None:
+                    self.on_step(handle)
                 if run.finished:
                     break
                 # Yield between steps so sibling sessions interleave even

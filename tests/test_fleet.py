@@ -11,6 +11,8 @@ and one cross-process detection cache.
 """
 
 import asyncio
+import multiprocessing
+import time
 
 import pytest
 
@@ -54,6 +56,23 @@ ALL_METHOD_ITEMS = [
     )
     for index, method in enumerate(METHODS)
 ]
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_shards():
+    """Every test must reap its shard children — zombies fail the suite."""
+    yield
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        leaked = [
+            process
+            for process in multiprocessing.active_children()
+            if process.name.startswith("repro-shard")
+        ]
+        if not leaked:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"leaked shard processes: {leaked}")
 
 
 @pytest.fixture(scope="module")

@@ -24,12 +24,19 @@ from repro.errors import (
     QueryError,
     ServerDrainingError,
     ServerOverloadedError,
+    WireTimeoutError,
 )
 from repro.query.engine import QueryEngine
 from repro.query.query import DistinctObjectQuery
 from repro.query.session import peek_checkpoint
 from repro.serving import ServerConfig
-from repro.serving.net import PROTOCOL_VERSION, FleetClient, NetServer
+from repro.serving.faults import FaultSpec
+from repro.serving.net import (
+    PROTOCOL_VERSION,
+    FleetClient,
+    NetServer,
+    RetryPolicy,
+)
 
 from tests.conftest import make_tiny_dataset
 from tests.test_query_session import assert_traces_identical
@@ -272,6 +279,40 @@ class TestCheckpointOverWire:
         asyncio.run(_with_server(go))
 
 
+class TestEvictOverWire:
+    def test_evict_drops_a_terminal_session_from_stats(self):
+        """The checkpoint-cycle ghost case: a superseded incarnation is
+        evicted and its sid stops resolving, without touching neighbours."""
+
+        async def go(server, client):
+            keeper = await client.submit(object="car", limit=2, run_seed=1)
+            ghost = await client.submit(
+                object="car", limit=5, run_seed=2, pause_after=1
+            )
+            await keeper.result()
+            assert await ghost.wait() == "paused"
+            before = (await client.stats())["submitted"]
+            await ghost.evict()
+            after = await client.stats()
+            assert after["submitted"] == before - 1
+            assert after["finished"] == 1  # the keeper's history survives
+            with pytest.raises(ProtocolError, match="unknown sid"):
+                await ghost.checkpoint()
+
+        asyncio.run(_with_server(go))
+
+    def test_evict_refuses_a_running_session(self):
+        async def go(server, client):
+            session = await client.submit(object="car", limit=50)
+            with pytest.raises(QueryError, match="still running"):
+                await session.evict()
+            await session.pause()
+            await session.wait()
+            await session.evict()  # paused is terminal: now allowed
+
+        asyncio.run(_with_server(go))
+
+
 class TestServerShutdownOp:
     def test_shutdown_op_stops_the_server(self):
         async def go():
@@ -286,3 +327,136 @@ class TestServerShutdownOp:
             await client.close()
 
         asyncio.run(go())
+
+
+# ---------------------------------------------------------------------------
+# Wire resilience: hostile frames, timeouts, retry/backoff, reconnect.
+# ---------------------------------------------------------------------------
+
+
+class TestWireResilience:
+    def test_oversized_line_typed_error_not_disconnect(self):
+        """A line past the limit gets an error frame; the stream stays
+        framed and the next (well-formed) op on the same socket works."""
+
+        async def go():
+            async with NetServer(fresh_engine(), line_limit=1024) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                try:
+                    writer.write(b"x" * 4096 + b"\n")
+                    writer.write(
+                        json.dumps({"op": "ping", "rid": "after"}).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    first = json.loads(await reader.readline())
+                    second = json.loads(await reader.readline())
+                finally:
+                    writer.close()
+                return first, second, server.wire_errors
+
+        first, second, wire_errors = asyncio.run(go())
+        assert first["error"] == "ProtocolError"
+        assert "line limit" in first["message"]
+        assert second == {
+            "rid": "after", "ok": True, "op": "ping",
+            "protocol": PROTOCOL_VERSION, "draining": False,
+        }
+        assert wire_errors == 1
+
+    def test_op_timeout_is_typed_and_retries_are_counted(self):
+        """A server that never answers trips the per-op timeout; the
+        retrying path re-issues the op per the policy, then gives up."""
+
+        async def go():
+            async def mute(reader, writer):
+                await reader.read()  # swallow everything, answer nothing
+
+            server = await asyncio.start_server(mute, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                client = await FleetClient.connect(
+                    "127.0.0.1", port, op_timeout=0.05,
+                    retry=RetryPolicy(attempts=3, base_delay=0.01,
+                                      max_delay=0.02, jitter=0.0),
+                )
+                with pytest.raises(WireTimeoutError, match="timed out"):
+                    await client.ping(retrying=False)
+                with pytest.raises(WireTimeoutError):
+                    await client.ping()  # retried, then surfaced
+                retries = client.retries
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+            return retries
+
+        # One non-retrying probe plus a 3-attempt retrying one: the two
+        # re-issues after the first retried attempt are the retries.
+        assert asyncio.run(go()) == 2
+
+    def test_retrying_op_survives_a_dropped_connection(self):
+        """An aborted transport fails in-flight ops, but an idempotent op
+        reconnects under the retry policy and succeeds."""
+
+        async def go(server, client):
+            client._writer.transport.abort()
+            stats = await client.stats()
+            return stats, client.retries
+
+        stats, retries = asyncio.run(_with_server(go))
+        assert stats["submitted"] == 0
+        assert retries >= 1
+
+    def test_attach_resumes_a_session_after_reconnect(self, solo_engine):
+        """A session survives its connection: reconnect + attach by gid
+        delivers the terminal frame, outcome identical to solo."""
+
+        async def go(server, client):
+            session = await client.submit(
+                object="car", limit=5, run_seed=3, wait=True
+            )
+            gid = session.gid
+            assert gid is not None
+            await client.reconnect()
+            attached = await client.attach(gid)
+            return await attached.result()
+
+        outcome = asyncio.run(_with_server(go))
+        solo = solo_engine.run(QUERY, method="exsample", run_seed=3)
+        assert_traces_identical(outcome.trace, solo.trace)
+
+    def test_attach_unknown_gid_is_typed(self):
+        async def go(server, client):
+            with pytest.raises(ProtocolError, match="unknown session gid"):
+                await client.attach("g999")
+
+        asyncio.run(_with_server(go))
+
+    def test_corrupt_frame_fault_is_retried_through(self):
+        """A scripted corrupt reply is skipped (counted) by the client's
+        read loop and the op succeeds on retry."""
+
+        async def go():
+            async with NetServer(
+                fresh_engine(),
+                faults=[FaultSpec(kind="corrupt_frame", op="ping")],
+            ) as server:
+                client = await FleetClient.connect(
+                    "127.0.0.1", server.port, op_timeout=0.2,
+                    retry=RetryPolicy(attempts=3, base_delay=0.01,
+                                      max_delay=0.02, jitter=0.0),
+                )
+                try:
+                    response = await client.ping()
+                    return response, client.wire_errors, client.retries
+
+                finally:
+                    await client.close()
+
+        response, wire_errors, retries = asyncio.run(go())
+        assert response["ok"] is True
+        assert wire_errors >= 1
+        assert retries >= 1
