@@ -62,7 +62,7 @@ def main() -> None:
     server, outcomes = asyncio.run(serve(engine))
     fused_calls = detector.detect_calls
 
-    for (tenant, class_name, limit, run_seed), outcome in zip(WORKLOAD, outcomes):
+    for (tenant, class_name, _limit, _run_seed), outcome in zip(WORKLOAD, outcomes):
         print(
             f"  {tenant:5s} {class_name:13s} -> {outcome.num_results} results "
             f"in {outcome.trace.num_samples} frames"
@@ -76,7 +76,7 @@ def main() -> None:
     # trace equals the same query run alone on a fresh engine.
     solo_engine = QueryEngine(make_dataset(**DATASET_KWARGS), seed=7)
     solo_calls = 0
-    for (tenant, class_name, limit, run_seed), outcome in zip(WORKLOAD, outcomes):
+    for (_tenant, class_name, limit, run_seed), outcome in zip(WORKLOAD, outcomes):
         before = solo_engine.detector.detect_calls
         solo = solo_engine.run(
             DistinctObjectQuery(class_name, limit=limit),

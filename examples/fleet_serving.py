@@ -89,7 +89,7 @@ def main() -> None:
     )
 
     by_tenant = {}
-    for (tenant, class_name, limit, run_seed), handle, outcome in zip(
+    for (tenant, class_name, _limit, _run_seed), handle, outcome in zip(
         WORKLOAD, handles, outcomes
     ):
         by_tenant.setdefault(tenant, set()).add(handle.shard)
@@ -113,7 +113,7 @@ def main() -> None:
     solo = QueryEngine(make_dataset(**DATASET_KWARGS), seed=ENGINE_SEED)
     checked = list(zip(WORKLOAD, outcomes))
     checked.append((("carol", "person", 3, 9), moved_outcome))
-    for (tenant, class_name, limit, run_seed), outcome in checked:
+    for (_tenant, class_name, limit, run_seed), outcome in checked:
         reference = solo.run(
             DistinctObjectQuery(class_name, limit=limit), run_seed=run_seed
         )

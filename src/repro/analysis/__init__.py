@@ -1,0 +1,36 @@
+"""repro.analysis — determinism/concurrency/lifecycle static analysis.
+
+An AST-based lint suite whose rules are distilled from this repo's own
+bug history (each rule's docstring cites the motivating PR).  Run it as
+``repro lint`` or ``python -m repro.analysis``; findings are discharged
+either by fixing them, by an inline ``# repro-lint: allow[CODE]``
+comment with a justification, or by the committed baseline file.
+
+Public surface::
+
+    from repro.analysis import run_lint, all_rules, register_rule
+"""
+
+from .baseline import Baseline, DEFAULT_BASELINE
+from .engine import LintResult, run as run_lint
+from .findings import FileContext, Finding
+from .registry import RuleSpec, all_rules, get_rule, register_rule
+from .report import render_json, render_stats, render_text
+from .suppress import SuppressionTable
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "RuleSpec",
+    "SuppressionTable",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+    "render_json",
+    "render_stats",
+    "render_text",
+    "run_lint",
+]

@@ -1,0 +1,79 @@
+"""Baseline file: grandfathered findings that don't fail the gate.
+
+The baseline is a committed JSON file mapping finding fingerprints
+(rule + path + line-content digest — tolerant of line-number drift) to
+occurrence counts.  New code must come in clean; the baseline exists so
+turning on a new rule doesn't force an unrelated mass rewrite, and so
+lint debt is visible and burns down monotonically (``repro lint
+--stats`` reports it).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+class Baseline:
+    """Fingerprint → allowed-count table."""
+
+    def __init__(self, entries: dict[str, int] | None = None):
+        self.entries: dict[str, int] = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        entries = data.get("entries", {})
+        if not all(
+            isinstance(k, str) and isinstance(v, int) for k, v in entries.items()
+        ):
+            raise ValueError(f"malformed baseline entries in {path}")
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        counts = Counter(f.fingerprint() for f in findings if not f.suppressed)
+        return cls(dict(counts))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @property
+    def debt(self) -> int:
+        return sum(self.entries.values())
+
+    def apply(self, findings: list[Finding]) -> list[Finding]:
+        """Mark findings covered by the baseline, up to each entry's count.
+
+        Matching is per-fingerprint with a budget: if the baseline allows
+        2 occurrences and the tree now has 3, one stays active.
+        """
+        budget = Counter(self.entries)
+        out: list[Finding] = []
+        for f in findings:
+            if f.suppressed:
+                out.append(f)
+                continue
+            fp = f.fingerprint()
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                out.append(f.as_baselined())
+            else:
+                out.append(f)
+        return out

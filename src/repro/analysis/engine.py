@@ -1,0 +1,96 @@
+"""Analysis driver: discover files, run rules, discharge findings.
+
+Pipeline per file: parse once into a :class:`FileContext`, run every
+selected rule over it, then mark findings suppressed (``# repro-lint:
+allow[...]`` comments) and baselined (committed baseline file).  A run
+*fails* iff any finding is left active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import Baseline
+from .findings import FileContext, Finding
+from .registry import RuleSpec, all_rules, get_rule
+from .suppress import SuppressionTable
+
+# Directories never worth descending into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", "build", "dist"}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+    baseline_debt: int = 0
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if f.active]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active and not self.parse_errors
+
+
+def discover(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of .py files."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            out.add(path)
+        elif path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    out.add(sub)
+    return sorted(out)
+
+
+def select_rules(codes: list[str] | None = None) -> list[RuleSpec]:
+    if codes is None:
+        return all_rules()
+    return [get_rule(code) for code in codes]
+
+
+def check_file(
+    path: Path, root: Path, rules: list[RuleSpec]
+) -> tuple[list[Finding], str | None]:
+    """Run ``rules`` over one file; returns (findings, parse_error)."""
+    try:
+        ctx = FileContext.load(path, root)
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        return [], f"{path}: {exc}"
+    table = SuppressionTable.parse(ctx.source)
+    findings: list[Finding] = []
+    for spec in rules:
+        for f in spec.fn(ctx):
+            if table.allows(f.rule, f.line):
+                f = f.as_suppressed()
+            findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings, None
+
+
+def run(
+    paths: list[Path],
+    root: Path,
+    rules: list[RuleSpec] | None = None,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Lint ``paths`` (files or directories) relative to ``root``."""
+    specs = rules if rules is not None else all_rules()
+    result = LintResult(baseline_debt=baseline.debt if baseline else 0)
+    for path in discover(paths):
+        findings, err = check_file(path, root, specs)
+        result.files_checked += 1
+        if err is not None:
+            result.parse_errors.append(err)
+        result.findings.extend(findings)
+    if baseline is not None:
+        result.findings = baseline.apply(result.findings)
+    return result

@@ -1,0 +1,135 @@
+"""Finding and file-context types for the repro static-analysis engine.
+
+A :class:`Finding` is one rule violation anchored to a file and line.  A
+:class:`FileContext` bundles everything a rule needs to inspect one file:
+the parsed AST, the raw source lines, the dotted module name, and the
+suppression table parsed from ``# repro-lint:`` comments.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific location.
+
+    ``suppressed`` and ``baselined`` record how the finding was
+    discharged; a finding with neither flag set is *active* and fails
+    the lint gate.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    snippet: str = ""
+    package: str = ""
+    suppressed: bool = False
+    baselined: bool = False
+
+    @property
+    def active(self) -> bool:
+        return not (self.suppressed or self.baselined)
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Keyed on rule, path, and a digest of the stripped source line so
+        the baseline survives unrelated edits that shift line numbers.
+        """
+        digest = hashlib.blake2b(
+            self.snippet.strip().encode("utf-8"), digest_size=8
+        ).hexdigest()
+        return f"{self.rule}:{self.path}:{digest}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+            "package": self.package,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+    def as_suppressed(self) -> "Finding":
+        return replace(self, suppressed=True)
+
+    def as_baselined(self) -> "Finding":
+        return replace(self, baselined=True)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule sees when visiting one file."""
+
+    path: Path
+    rel_path: str
+    module: str
+    package: str
+    source: str
+    lines: list[str] = field(default_factory=list)
+    tree: ast.AST | None = None
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "FileContext":
+        source = path.read_text(encoding="utf-8")
+        try:
+            rel = path.relative_to(root)
+        except ValueError:
+            rel = path
+        module = _module_name(rel)
+        package = module.rsplit(".", 1)[0] if "." in module else module
+        return cls(
+            path=path,
+            rel_path=str(rel),
+            module=module,
+            package=package,
+            source=source,
+            lines=source.splitlines(),
+            tree=ast.parse(source, filename=str(path)),
+        )
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(self, rule: str, node_or_line, message: str) -> Finding:
+        """Build a Finding anchored at an AST node or a line number."""
+        line = getattr(node_or_line, "lineno", node_or_line)
+        return Finding(
+            rule=rule,
+            path=self.rel_path,
+            line=int(line),
+            message=message,
+            snippet=self.line_text(int(line)).strip(),
+            package=self.package,
+        )
+
+    def in_package(self, prefixes: tuple[str, ...]) -> bool:
+        """True when this file's module falls under any dotted prefix."""
+        for prefix in prefixes:
+            if self.module == prefix or self.module.startswith(prefix + "."):
+                return True
+        return False
+
+
+def _module_name(rel: Path) -> str:
+    parts = list(rel.with_suffix("").parts)
+    # Anchor on the package root so files addressed by absolute path
+    # (outside the lint root) still map to their repro.* module.
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    elif parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)

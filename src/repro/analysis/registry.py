@@ -1,0 +1,79 @@
+"""Rule registry for the repro static-analysis engine.
+
+A rule is a callable ``(FileContext) -> Iterable[Finding]`` registered
+with :func:`register_rule`.  The decorator records the rule's code, a
+short name, and the docstring (which must cite the PR or bug that
+motivated the rule — rules here are distilled from this repo's actual
+failure history, not imported from a generic style guide).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from .findings import FileContext, Finding
+
+RuleFn = Callable[[FileContext], Iterable[Finding]]
+
+_CODE_RE = re.compile(r"^[A-Z]{3}\d{3}$")
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """A registered lint rule."""
+
+    code: str
+    name: str
+    fn: RuleFn
+    doc: str
+
+    @property
+    def summary(self) -> str:
+        return self.doc.strip().splitlines()[0] if self.doc else self.name
+
+
+_RULES: dict[str, RuleSpec] = {}
+
+
+def register_rule(code: str, name: str) -> Callable[[RuleFn], RuleFn]:
+    """Register a rule under ``code`` (e.g. ``DET101``).
+
+    Codes group by prefix: DET determinism, AIO asyncio, LIF resource
+    lifecycle, SER serialization/protocol.  Duplicate codes are a
+    programming error and raise immediately.
+    """
+    if not _CODE_RE.match(code):
+        raise ValueError(f"rule code {code!r} must match XXXDDD (e.g. DET101)")
+
+    def deco(fn: RuleFn) -> RuleFn:
+        if code in _RULES:
+            raise ValueError(f"duplicate rule code {code!r}")
+        doc = (fn.__doc__ or "").strip()
+        if not doc:
+            raise ValueError(f"rule {code} must have a docstring citing its motivation")
+        _RULES[code] = RuleSpec(code=code, name=name, fn=fn, doc=doc)
+        return fn
+
+    return deco
+
+
+def all_rules() -> list[RuleSpec]:
+    """Registered rules in code order."""
+    _ensure_loaded()
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def get_rule(code: str) -> RuleSpec:
+    _ensure_loaded()
+    try:
+        return _RULES[code]
+    except KeyError:
+        raise KeyError(f"unknown rule code {code!r}; known: {sorted(_RULES)}") from None
+
+
+def _ensure_loaded() -> None:
+    # Rule modules self-register on import; importing here avoids a
+    # circular import at package-init time.
+    from .rules import asyncio_rules, determinism, lifecycle, serialization  # noqa: F401

@@ -1,0 +1,101 @@
+"""Reporters for lint results: text, JSON, and the --stats table."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from ..utils.tables import ascii_table
+from .engine import LintResult
+from .registry import all_rules
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Grep-friendly ``path:line: CODE message`` lines plus a summary.
+
+    By default only *active* findings print; ``verbose`` includes
+    suppressed/baselined ones tagged with how they were discharged.
+    """
+    lines: list[str] = []
+    for f in result.findings:
+        if f.active:
+            lines.append(f"{f.path}:{f.line}: {f.rule} {f.message}")
+        elif verbose:
+            how = "suppressed" if f.suppressed else "baselined"
+            lines.append(f"{f.path}:{f.line}: {f.rule} [{how}] {f.message}")
+    for err in result.parse_errors:
+        lines.append(f"parse error: {err}")
+    active = len(result.active)
+    discharged = len(result.findings) - active
+    lines.append(
+        f"{result.files_checked} files checked: {active} finding(s)"
+        + (f", {discharged} suppressed/baselined" if discharged else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report for the CI artifact."""
+    payload = {
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "active": len(result.active),
+        "suppressed": sum(1 for f in result.findings if f.suppressed),
+        "baselined": sum(1 for f in result.findings if f.baselined),
+        "baseline_debt": result.baseline_debt,
+        "parse_errors": result.parse_errors,
+        "findings": [f.to_dict() for f in result.findings],
+        "rules": {r.code: r.summary for r in all_rules()},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_stats(result: LintResult) -> str:
+    """Findings per rule and per package, plus baseline-debt totals.
+
+    All findings (including discharged ones) count here — the point of
+    --stats is burndown tracking across PRs, so suppressions and
+    baseline entries are the interesting part.
+    """
+    by_rule: Counter[str] = Counter()
+    rule_state: dict[str, Counter] = {}
+    by_package: Counter[str] = Counter()
+    for f in result.findings:
+        by_rule[f.rule] += 1
+        state = "active" if f.active else ("suppressed" if f.suppressed else "baselined")
+        rule_state.setdefault(f.rule, Counter())[state] += 1
+        by_package[f.package or "(none)"] += 1
+
+    sections: list[str] = []
+    rule_rows = []
+    for spec in all_rules():
+        states = rule_state.get(spec.code, Counter())
+        rule_rows.append(
+            (
+                spec.code,
+                spec.name,
+                states["active"],
+                states["suppressed"],
+                states["baselined"],
+            )
+        )
+    sections.append(
+        ascii_table(
+            ["rule", "name", "active", "suppressed", "baselined"],
+            rule_rows,
+            title="findings by rule",
+        )
+    )
+    if by_package:
+        sections.append(
+            ascii_table(
+                ["package", "findings"],
+                sorted(by_package.items()),
+                title="findings by package",
+            )
+        )
+    sections.append(
+        f"files checked: {result.files_checked}   "
+        f"active: {len(result.active)}   baseline debt: {result.baseline_debt}"
+    )
+    return "\n\n".join(sections)

@@ -1,0 +1,27 @@
+"""Lint rules distilled from this repo's bug history.
+
+Rule modules self-register with :func:`repro.analysis.registry
+.register_rule` on import.  Shared constants live here so every rule
+agrees on which packages are *trace-affecting*: packages whose code can
+influence which frames a sampling trace visits, and therefore must be
+bit-reproducible across runs, processes, and platforms.
+"""
+
+from __future__ import annotations
+
+# Packages where any nondeterminism changes sampling traces and breaks
+# the paper's reproducibility claim.  ``repro.serving`` and
+# ``repro.parallel`` are deliberately excluded: they host wall-clock
+# timeouts and jittered backoff by design, and their determinism
+# obligations are covered by the asyncio/lifecycle rules instead.
+TRACE_AFFECTING = (
+    "repro.core",
+    "repro.query",
+    "repro.baselines",
+    "repro.detection",
+    "repro.tracking",
+    "repro.video",
+    "repro.extensions",
+    "repro.theory",
+    "repro.index",
+)

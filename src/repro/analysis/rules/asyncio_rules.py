@@ -1,0 +1,110 @@
+"""Asyncio rules (AIO2xx).
+
+The serving stack has been burned twice by well-known asyncio traps:
+the bpo-42130 cancellation swallow in ``asyncio.wait_for`` (PR 8's
+fleet-recovery deadlock) and "exception was never retrieved" spam from
+abandoned tasks.  These rules encode the repo's house patterns.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import FileContext, Finding
+from ..registry import register_rule
+
+_SERVING = ("repro.serving",)
+
+
+def _is_asyncio_attr(node: ast.expr, attr: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "asyncio"
+    )
+
+
+@register_rule("AIO201", "bare-wait-for")
+def bare_wait_for(ctx: FileContext) -> Iterator[Finding]:
+    """``asyncio.wait_for`` must not wrap cancellation-sensitive awaits.
+
+    Under bpo-42130, ``wait_for`` can swallow a ``CancelledError`` when
+    cancellation races the inner future settling — PR 8 hit this as a
+    fleet-recovery deadlock and introduced ``_cancel_until_done``
+    (``serving/fleet.py``), which re-cancels until the task actually
+    exits.  In ``repro.serving``, use that pattern; where ``wait_for``
+    genuinely wraps a plain future with no cleanup obligations, suppress
+    with a one-line justification.
+    """
+    if not ctx.in_package(_SERVING):
+        return
+    assert ctx.tree is not None
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and _is_asyncio_attr(node.func, "wait_for"):
+            yield ctx.finding(
+                "AIO201", node,
+                "bare asyncio.wait_for in repro.serving; use the "
+                "_cancel_until_done pattern (fleet.py) or suppress with a "
+                "justification",
+            )
+
+
+def _is_create_task_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in (
+        "create_task", "ensure_future"
+    ):
+        return True
+    return isinstance(func, ast.Name) and func.id in ("create_task", "ensure_future")
+
+
+@register_rule("AIO202", "dangling-task")
+def dangling_task(ctx: FileContext) -> Iterator[Finding]:
+    """Every spawned task must be retained or exception-retrieved.
+
+    A ``create_task(...)`` whose result is discarded can vanish
+    mid-flight (the loop holds only a weak reference) and logs
+    "exception was never retrieved" if it fails — the exact spam PR 8's
+    chaos harness had to chase down.  Keep the handle (``self._tasks``
+    plus a ``discard`` done-callback is the house idiom, see
+    ``serving/net.py``/``fleet.py``) or await it.  PR 9 fixed the one
+    real offender: the detached shutdown task in ``NetServer
+    ._op_shutdown``.
+    """
+    assert ctx.tree is not None
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Call)
+            and _is_create_task_call(node.value)
+        ):
+            yield ctx.finding(
+                "AIO202", node,
+                "fire-and-forget task: retain the handle or add a "
+                "done-callback that retrieves exceptions",
+            )
+
+
+@register_rule("AIO203", "deprecated-get-event-loop")
+def deprecated_get_event_loop(ctx: FileContext) -> Iterator[Finding]:
+    """Use ``asyncio.get_running_loop()``, never ``get_event_loop()``.
+
+    ``get_event_loop()`` silently *creates* a loop outside a running
+    coroutine, which on worker threads (the PR 5 server's off-thread
+    submit path) yields a second, never-run loop and futures that hang
+    forever.  ``get_running_loop()`` raises instead of guessing — the
+    failure is immediate and debuggable.
+    """
+    assert ctx.tree is not None
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and _is_asyncio_attr(
+            node.func, "get_event_loop"
+        ):
+            yield ctx.finding(
+                "AIO203", node,
+                "asyncio.get_event_loop() is deprecated and loop-creating; "
+                "use get_running_loop() (or run_coroutine_threadsafe from "
+                "other threads)",
+            )

@@ -1,0 +1,199 @@
+"""Determinism rules (DET1xx).
+
+ExSample's result tables only replicate if a run's sampling trace is a
+pure function of ``(dataset, config, run_seed)``.  These rules fence off
+the three nondeterminism sources that have actually bitten this repo:
+module-global RNG state, wall-clock reads, and hash-order iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import FileContext, Finding
+from ..registry import register_rule
+from . import TRACE_AFFECTING
+
+# Constructor-style attributes on the ``random`` / ``np.random`` modules
+# that build an *instance* (seedable, injectable) rather than touching
+# the hidden module-global stream.
+_RANDOM_CONSTRUCTORS = frozenset({"Random", "SystemRandom"})
+_NP_RANDOM_CONSTRUCTORS = frozenset(
+    {"Generator", "Philox", "PCG64", "PCG64DXSM", "MT19937", "SFC64",
+     "SeedSequence", "BitGenerator", "default_rng"}
+)
+
+_WALL_CLOCK_TIME_ATTRS = frozenset(
+    {"time", "time_ns", "perf_counter", "perf_counter_ns",
+     "monotonic", "monotonic_ns"}
+)
+
+
+def _module_aliases(tree: ast.AST, module: str) -> set[str]:
+    """Names that refer to ``module`` via ``import module [as alias]``."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _attr_call_root(call: ast.Call) -> tuple[str, str] | None:
+    """For ``name.attr(...)`` return ``(name, attr)``; else None."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id, func.attr
+    return None
+
+
+@register_rule("DET101", "module-global-rng")
+def module_global_rng(ctx: FileContext) -> Iterator[Finding]:
+    """Library code must not draw from the module-global RNG stream.
+
+    ``random.uniform()`` / ``np.random.shuffle()`` etc. read hidden
+    process-global state that any import or concurrent caller can
+    perturb, so two runs with the same seed diverge.  All randomness
+    must flow through an injected ``random.Random`` / seeded
+    ``np.random.Generator`` / ``TransientRng`` (see ``repro.utils.rng``).
+    Motivated by PR 9's audit: ``RetryPolicy.backoff`` jitter in
+    ``serving/net.py`` drew from the global ``random`` module, coupling
+    wire-retry timing to every other consumer of that stream.
+    """
+    assert ctx.tree is not None
+    random_names = _module_aliases(ctx.tree, "random")
+    numpy_names = _module_aliases(ctx.tree, "numpy")
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        root = _attr_call_root(node)
+        if root is not None:
+            name, attr = root
+            if name in random_names and attr not in _RANDOM_CONSTRUCTORS:
+                yield ctx.finding(
+                    "DET101", node,
+                    f"call to module-global random.{attr}(); inject a "
+                    "random.Random or TransientRng instead",
+                )
+            continue
+        # np.random.<fn>(...) — a two-level attribute chain.
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in numpy_names
+            and func.value.attr == "random"
+            and func.attr not in _NP_RANDOM_CONSTRUCTORS
+        ):
+            yield ctx.finding(
+                "DET101", node,
+                f"call to np.random.{func.attr}() uses the legacy global "
+                "stream; use a seeded np.random.Generator",
+            )
+
+
+@register_rule("DET102", "wall-clock-in-trace")
+def wall_clock_in_trace(ctx: FileContext) -> Iterator[Finding]:
+    """Trace-affecting packages must not read the wall clock.
+
+    A ``time.time()`` / ``time_ns()`` / ``perf_counter()`` value that
+    reaches chunk scoring, sampling order, or persisted identifiers
+    makes runs irreproducible.  Timing belongs in ``repro.serving`` /
+    benchmarks, or behind an injected clock.  Motivated by the PR 7
+    index design: segment payloads are digest-addressed precisely so
+    that nothing trace-visible depends on when a segment was written
+    (``index/store.py`` carries the one audited, suppressed exception —
+    a merge-order filename hint that never enters a trace).
+    """
+    if not ctx.in_package(TRACE_AFFECTING):
+        return
+    assert ctx.tree is not None
+    time_names = _module_aliases(ctx.tree, "time")
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        root = _attr_call_root(node)
+        if root is None:
+            continue
+        name, attr = root
+        if name in time_names and attr in _WALL_CLOCK_TIME_ATTRS:
+            yield ctx.finding(
+                "DET102", node,
+                f"wall-clock read time.{attr}() in trace-affecting package "
+                f"{ctx.package}; inject a clock or move timing out of core",
+            )
+        elif attr in ("now", "utcnow") and name in ("datetime", "date"):
+            yield ctx.finding(
+                "DET102", node,
+                f"wall-clock read {name}.{attr}() in trace-affecting "
+                f"package {ctx.package}",
+            )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register_rule("DET103", "unordered-set-iteration")
+def unordered_set_iteration(ctx: FileContext) -> Iterator[Finding]:
+    """Trace-affecting loops must not iterate sets without ``sorted()``.
+
+    Set iteration order depends on hash seeds and insertion history, so
+    it differs across processes (PYTHONHASHSEED) and platforms.  PR 3
+    fixed exactly this class of bug for cross-process determinism: any
+    unordered collection feeding a trace-affecting loop must pass
+    through ``sorted()`` first.  PR 9's audit caught another instance in
+    ``core/estimator.py`` (``SeenCounter.observe_frame``).
+    """
+    if not ctx.in_package(TRACE_AFFECTING):
+        return
+    assert ctx.tree is not None
+    iter_exprs: list[ast.expr] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_exprs.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iter_exprs.extend(gen.iter for gen in node.generators)
+    for expr in iter_exprs:
+        if _is_set_expr(expr):
+            yield ctx.finding(
+                "DET103", expr,
+                "iterating a set in a trace-affecting package; wrap in "
+                "sorted() so order is independent of hash seeds",
+            )
+
+
+@register_rule("DET104", "unseeded-default-rng")
+def unseeded_default_rng(ctx: FileContext) -> Iterator[Finding]:
+    """``np.random.default_rng()`` without a seed is entropy-seeded.
+
+    An argument-less ``default_rng()`` pulls OS entropy, so every run
+    gets a different stream.  Trace-affecting code must derive
+    generators from the run seed — ``spawn_rng`` / ``RngFactory`` in
+    ``repro.utils.rng`` exist for exactly this (PR 1's seed-derivation
+    design, hardened for worker processes in PR 3).
+    """
+    if not ctx.in_package(TRACE_AFFECTING):
+        return
+    assert ctx.tree is not None
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or node.args or node.keywords:
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name == "default_rng":
+            yield ctx.finding(
+                "DET104", node,
+                "default_rng() with no seed draws OS entropy; derive the "
+                "generator from the run seed (see repro.utils.rng)",
+            )

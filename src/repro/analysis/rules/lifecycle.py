@@ -1,0 +1,109 @@
+"""Resource-lifecycle rules (LIF3xx).
+
+Shared-memory segments and on-disk index segments are the two resources
+this repo leaks when lifecycle discipline slips: ``/dev/shm`` fills up
+across test runs, and a torn segment write poisons every future reader.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import FileContext, Finding
+from ..registry import register_rule
+
+_INDEX = ("repro.index",)
+
+
+@register_rule("LIF301", "shm-without-unlink")
+def shm_without_unlink(ctx: FileContext) -> Iterator[Finding]:
+    """``SharedMemory(create=True)`` needs a reachable ``unlink()``.
+
+    A created-but-never-unlinked segment outlives the process in
+    ``/dev/shm`` until reboot; PR 3's worker pools leaked segments on
+    crashed runs until ``parallel/shm.py`` grew its ``close()`` +
+    ``atexit`` backstop.  Any module that creates a segment must also
+    call ``.unlink()`` somewhere (a ``close``/``finally``/``atexit``
+    path) — this rule checks module-level reachability, which is
+    deliberately coarse: moving the unlink out of the module entirely is
+    the failure mode seen in practice.
+    """
+    assert ctx.tree is not None
+    creates: list[ast.Call] = []
+    has_unlink = False
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name == "SharedMemory" and any(
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        ):
+            creates.append(node)
+        if isinstance(func, ast.Attribute) and func.attr == "unlink":
+            has_unlink = True
+    if creates and not has_unlink:
+        for call in creates:
+            yield ctx.finding(
+                "LIF301", call,
+                "SharedMemory(create=True) with no .unlink() anywhere in "
+                "this module; segments will outlive the process in /dev/shm",
+            )
+
+
+def _write_modes(call: ast.Call) -> bool:
+    """True if this ``open(...)`` call opens for writing."""
+    mode: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return any(ch in mode.value for ch in ("w", "x", "a", "+"))
+    return False
+
+
+@register_rule("LIF302", "non-atomic-segment-write")
+def non_atomic_segment_write(ctx: FileContext) -> Iterator[Finding]:
+    """Index writers must use temp-file + atomic rename.
+
+    ``repro.index`` stores append-only digest-checked segments shared by
+    concurrent readers (PR 7).  A function that opens a file for writing
+    in place can be interrupted mid-write, leaving a torn envelope that
+    fails digest verification for every future reader.  House pattern:
+    write to a same-directory temp file, fsync, then ``os.replace()``
+    (``index/store.py:_write_envelope``).  Each writing function must
+    contain an ``os.replace``/``os.rename`` call.
+    """
+    if not ctx.in_package(_INDEX):
+        return
+    assert ctx.tree is not None
+    for fn in ast.walk(ctx.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        opens: list[ast.Call] = []
+        has_rename = False
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open" and _write_modes(node):
+                opens.append(node)
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "replace", "rename"
+            ) and isinstance(func.value, ast.Name) and func.value.id == "os":
+                has_rename = True
+        if opens and not has_rename:
+            for call in opens:
+                yield ctx.finding(
+                    "LIF302", call,
+                    f"in-place write in repro.index ({fn.name}); use the "
+                    "temp-file + os.replace pattern from store._write_envelope",
+                )

@@ -1,0 +1,126 @@
+"""Serialization & wire-protocol rules (SER4xx).
+
+Checkpoints pickle searcher state across processes (PR 2, PR 8) and the
+wire protocol retries ops through ``RetryPolicy`` (PR 8); both impose
+structural contracts that are invisible at the call site and easy to
+break in review — so they are linted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import FileContext, Finding
+from ..registry import register_rule
+
+_SERVING = ("repro.serving",)
+
+
+def _is_register_searcher(deco: ast.expr) -> bool:
+    target = deco.func if isinstance(deco, ast.Call) else deco
+    if isinstance(target, ast.Name):
+        return target.id == "register_searcher"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "register_searcher"
+    return False
+
+
+@register_rule("SER401", "factory-captures-closure")
+def factory_captures_closure(ctx: FileContext) -> Iterator[Finding]:
+    """``@register_searcher`` factories must stay picklable.
+
+    PR 2 broke checkpointing by giving ``FusionSearcher`` a
+    lambda-valued score accessor: the searcher pickled fine locally but
+    died on spawn-start workers, because lambdas and nested functions
+    pickle by qualified name and closures don't survive at all.  PR 2's
+    fix introduced module-level callable classes (``ArrayChunkScores``),
+    and checkpoint-reachable state has been closure-free since.  This
+    rule keeps it that way: no ``lambda`` and no nested ``def`` inside a
+    registered factory body.
+    """
+    assert ctx.tree is not None
+    for fn in ast.walk(ctx.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not any(_is_register_searcher(d) for d in fn.decorator_list):
+            continue
+        for node in ast.walk(fn):
+            if node is fn:
+                continue
+            if isinstance(node, ast.Lambda):
+                yield ctx.finding(
+                    "SER401", node,
+                    f"lambda inside @register_searcher factory {fn.name}; "
+                    "use a module-level callable class so checkpoints pickle",
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield ctx.finding(
+                    "SER401", node,
+                    f"nested def {node.name} inside @register_searcher "
+                    f"factory {fn.name}; hoist to module level so "
+                    "checkpoints pickle",
+                )
+
+
+def _op_idempotency_keys(tree: ast.AST) -> set[str] | None:
+    """String keys of a module-level ``OP_IDEMPOTENCY`` dict, else None."""
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "OP_IDEMPOTENCY":
+                if isinstance(value, ast.Dict):
+                    return {
+                        k.value
+                        for k in value.keys
+                        if isinstance(k, ast.Constant) and isinstance(k.value, str)
+                    }
+                return set()
+    return None
+
+
+@register_rule("SER402", "op-without-idempotency")
+def op_without_idempotency(ctx: FileContext) -> Iterator[Finding]:
+    """Every wire-op handler must declare idempotency for RetryPolicy.
+
+    ``FleetClient`` retries ops after transport errors (PR 8), where the
+    server may or may not have executed the request — so retrying is
+    only safe for ops *declared* idempotent.  Exception-to-typed-frame
+    mapping is centralized in ``NetServer._dispatch``; what review keeps
+    missing is the retry contract of a *new* op.  This rule requires a
+    module-level ``OP_IDEMPOTENCY`` dict in any ``repro.serving`` module
+    that defines ``_op_*`` handlers, with one entry per handler.
+    """
+    if not ctx.in_package(_SERVING):
+        return
+    assert ctx.tree is not None
+    ops: list[tuple[str, ast.AST]] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and item.name.startswith("_op_"):
+                    ops.append((item.name[len("_op_"):], item))
+    if not ops:
+        return
+    declared = _op_idempotency_keys(ctx.tree)
+    if declared is None:
+        yield ctx.finding(
+            "SER402", ops[0][1],
+            f"{ctx.module} defines _op_* handlers but no module-level "
+            "OP_IDEMPOTENCY dict declaring their retry safety",
+        )
+        return
+    for op, node in ops:
+        if op not in declared:
+            yield ctx.finding(
+                "SER402", node,
+                f"op {op!r} missing from OP_IDEMPOTENCY; declare whether "
+                "RetryPolicy may retry it",
+            )

@@ -1,0 +1,72 @@
+"""Suppression comments for repro-lint findings.
+
+Two forms, both parsed from comment tokens so they work anywhere a
+comment is legal (including continuation lines):
+
+``# repro-lint: allow[AIO201] reason...``
+    Suppresses the listed rule codes on that physical line.
+
+``# repro-lint: allow-file[DET102] reason...``
+    Suppresses the listed rule codes for the whole file.  Must appear
+    in the first 20 lines so it is visible at the top of the file.
+
+Codes are comma-separated; ``allow[*]`` matches every rule.  A trailing
+free-text justification is encouraged and ignored by the parser.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_ALLOW_RE = re.compile(r"#\s*repro-lint:\s*allow(?P<scope>-file)?\[(?P<codes>[^\]]*)\]")
+
+FILE_SCOPE_MAX_LINE = 20
+
+
+@dataclass
+class SuppressionTable:
+    """Per-line and per-file rule suppressions for one source file."""
+
+    line_allows: dict[int, set[str]] = field(default_factory=dict)
+    file_allows: set[str] = field(default_factory=set)
+
+    def allows(self, rule: str, line: int) -> bool:
+        if "*" in self.file_allows or rule in self.file_allows:
+            return True
+        codes = self.line_allows.get(line)
+        if codes is None:
+            return False
+        return "*" in codes or rule in codes
+
+    @classmethod
+    def parse(cls, source: str) -> "SuppressionTable":
+        table = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except tokenize.TokenError:
+            comments = [
+                (i + 1, line)
+                for i, line in enumerate(source.splitlines())
+                if "#" in line
+            ]
+        for lineno, text in comments:
+            match = _ALLOW_RE.search(text)
+            if match is None:
+                continue
+            codes = {c.strip() for c in match.group("codes").split(",") if c.strip()}
+            if not codes:
+                continue
+            if match.group("scope"):
+                if lineno <= FILE_SCOPE_MAX_LINE:
+                    table.file_allows |= codes
+            else:
+                table.line_allows.setdefault(lineno, set()).update(codes)
+        return table

@@ -303,6 +303,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_shared_flags(experiment)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro.analysis determinism/concurrency lint suite",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        dest="lint_format", help="report format (json is the CI artifact)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of grandfathered findings "
+             "(default: lint-baseline.json at the repo root if present)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from current findings and exit 0",
+    )
+    lint.add_argument(
+        "--stats", action="store_true",
+        help="print the findings-per-rule/package table and baseline debt",
+    )
+    lint.add_argument(
+        "--rules", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true",
+        help="also print suppressed and baselined findings",
+    )
+
     ablation = sub.add_parser("ablation", help="run one design-choice ablation")
     ablation.add_argument("name", choices=sorted(_ABLATIONS))
     ablation.add_argument(
@@ -608,7 +642,7 @@ def _cmd_serve(args, out) -> int:
 
     server, handles = asyncio.run(_run())
     rows = []
-    for item, handle in zip(items, handles):
+    for item, handle in zip(items, handles, strict=True):
         state = handle.state
         rows.append(
             (
@@ -808,6 +842,45 @@ def _cmd_ablation(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    from pathlib import Path
+
+    from repro import analysis
+
+    root = Path.cwd()
+    paths = [Path(p) for p in args.paths] if args.paths else [root / "src" / "repro"]
+    if not args.paths and not paths[0].exists():
+        # Running from an installed checkout layout; fall back to the
+        # package's own source tree.
+        paths = [Path(analysis.__file__).resolve().parent.parent]
+        root = paths[0].parent.parent
+
+    rules = None
+    if args.rules:
+        rules = [analysis.get_rule(c.strip()) for c in args.rules.split(",") if c.strip()]
+
+    baseline_path = Path(args.baseline) if args.baseline else root / analysis.DEFAULT_BASELINE
+    baseline = analysis.Baseline.load(baseline_path)
+
+    result = analysis.run_lint(paths, root, rules=rules, baseline=None)
+
+    if args.write_baseline:
+        analysis.Baseline.from_findings(result.findings).save(baseline_path)
+        print(f"wrote {baseline_path}", file=out)
+        return 0
+
+    result.findings = baseline.apply(result.findings)
+    result.baseline_debt = baseline.debt
+    if args.lint_format == "json":
+        print(analysis.render_json(result), file=out)
+    else:
+        print(analysis.render_text(result, verbose=args.verbose), file=out)
+    if args.stats:
+        print(file=out)
+        print(analysis.render_stats(result), file=out)
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point. Returns a process exit code."""
     out = out or sys.stdout
@@ -828,6 +901,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_index(args, out)
     if args.command == "experiment":
         return _cmd_experiment(args, out)
+    if args.command == "lint":
+        return _cmd_lint(args, out)
     if args.command == "ablation":
         return _cmd_ablation(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

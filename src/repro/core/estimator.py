@@ -132,7 +132,9 @@ class SeenCounter:
         """
         d0 = 0
         d1 = 0
-        for instance in set(int(i) for i in instance_ids):
+        # sorted() so the visit order (and thus any tie-break downstream
+        # of the counters) is hash-seed independent across processes.
+        for instance in sorted(set(int(i) for i in instance_ids)):
             seen = self._times_seen.get(instance, 0)
             if seen == 0:
                 d0 += 1

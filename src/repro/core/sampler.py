@@ -517,7 +517,7 @@ class SearchRun:
         trace = self._trace
         new_results: List[Tuple[int, object]] = []
         consumed = 0
-        for (chunk, frame), obs in zip(picks, observations):
+        for (chunk, frame), obs in zip(picks, observations, strict=True):
             trace.record(
                 chunk, frame, obs, proposal.extra_cost if consumed == 0 else 0.0
             )
@@ -676,7 +676,7 @@ class ExSampleSearcher(Searcher):
                 obs.d1_origin_chunks
                 if obs.d1_origin_chunks is not None
                 else [int(chunk)] * obs.d1
-                for (chunk, _), obs in zip(picks, observations)
+                for (chunk, _), obs in zip(picks, observations, strict=True)
             ]
             self.stats.apply_credit_batch(chunks, d0s, origins)
         else:

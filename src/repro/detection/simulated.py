@@ -216,7 +216,7 @@ class SimulatedDetector:
             for video, indices in todo_by_video.items():
                 frame_list = [int(frames[i]) for i in indices]
                 generated = self._generate_frames(video, frame_list)
-                for i, detections in zip(indices, generated):
+                for i, detections in zip(indices, generated, strict=True):
                     if class_filter is not None:
                         detections = [
                             d for d in detections if d.class_name == class_filter
@@ -231,7 +231,7 @@ class SimulatedDetector:
             # identity; grouping below stays on the plain key.
             scope = self.cache_scope() if cache.scoped else None
             pending: dict[tuple, List[int]] = {}
-            for i, (video, frame) in enumerate(zip(videos, frames)):
+            for i, (video, frame) in enumerate(zip(videos, frames, strict=True)):
                 key = (int(video), int(frame), class_filter)
                 indices = pending.get(key)
                 if indices is not None:
@@ -247,7 +247,7 @@ class SimulatedDetector:
                 by_video.setdefault(key[0], []).append(key)
             for video, keys in by_video.items():
                 generated = self._generate_frames(video, [k[1] for k in keys])
-                for key, detections in zip(keys, generated):
+                for key, detections in zip(keys, generated, strict=True):
                     if class_filter is not None:
                         detections = [
                             d for d in detections if d.class_name == class_filter
@@ -327,7 +327,7 @@ class SimulatedDetector:
         has_fps = profile.false_positives_per_frame > 0
         out: List[List[Detection]] = []
         offset = 0
-        for frame, count in zip(frame_list, counts):
+        for frame, count in zip(frame_list, counts, strict=True):
             rng = seeded_offset(base_digest, frame)
             detections: List[Detection] = []
             if count:
@@ -366,6 +366,7 @@ class SimulatedDetector:
                             codes_flat[sl][keep].tolist(),
                             scores.tolist(),
                             uids_flat[sl][keep].tolist(),
+                            strict=True,
                         )
                     )
             if has_fps:
@@ -414,5 +415,6 @@ class SimulatedDetector:
                 h.tolist(),
                 codes.tolist(),
                 scores.tolist(),
+                strict=True,
             )
         ]

@@ -92,7 +92,7 @@ def run(config: Fig2Config) -> Fig2Result:
     num_blocks = min(16, config.runs)
     bounds = np.linspace(0, config.runs, num_blocks + 1).astype(int)
     run_blocks = [
-        tuple(range(lo, hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+        tuple(range(lo, hi)) for lo, hi in zip(bounds[:-1], bounds[1:], strict=True) if hi > lo
     ]
     parts = parallel_map(
         partial(_simulate_block, p, checkpoints, config.seed), run_blocks

@@ -143,7 +143,7 @@ def run(config: Fig5Config) -> Fig5Result:
         partial(_run_trial, config.scale, config.seed, config.recalls), tasks
     )
     by_bar: Dict[Tuple[str, str], Dict[float, List[float]]] = {}
-    for (ds_name, class_name, _trial), ratios in zip(tasks, results):
+    for (ds_name, class_name, _trial), ratios in zip(tasks, results, strict=True):
         per_recall = by_bar.setdefault(
             (ds_name, class_name), {r: [] for r in config.recalls}
         )

@@ -104,7 +104,7 @@ def run(config: Fig6Config) -> Fig6Result:
         partial(_run_trial, config.scale, config.seed, config.recall), tasks
     )
     ratio_lists: dict = {}
-    for (ds_name, class_name, _trial), ratio in zip(tasks, results):
+    for (ds_name, class_name, _trial), ratio in zip(tasks, results, strict=True):
         if ratio is not None:
             ratio_lists.setdefault((ds_name, class_name), []).append(ratio)
     panels: List[Fig6Panel] = []

@@ -348,7 +348,7 @@ def parallel_sweep_methods(
         context=context,
         shared_world=shared_world,
     )
-    return dict(zip(chosen, outcomes))
+    return dict(zip(chosen, outcomes, strict=True))
 
 
 # -- process-local dataset/engine memo ---------------------------------------

@@ -403,8 +403,10 @@ class RepositoryIndex:
             }
         # Zero-padded nanosecond timestamp first so the sorted merge order
         # approximates write order (pid+uuid break same-instant ties).
+        # The timestamp is a filename ordering hint only — payloads are
+        # digest-addressed and nothing trace-visible depends on it.
         name = (
-            f"seg-{time.time_ns():020d}-{os.getpid()}-"
+            f"seg-{time.time_ns():020d}-{os.getpid()}-"  # repro-lint: allow[DET102]
             f"{uuid.uuid4().hex[:8]}.bin"
         )
         path = os.path.join(self.path, _SEGMENT_DIR, name)

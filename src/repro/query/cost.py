@@ -66,7 +66,7 @@ class CostModel:
         return np.array(
             [
                 self.sample_cost(int(video), int(frame))
-                for video, frame in zip(videos, frames)
+                for video, frame in zip(videos, frames, strict=True)
             ],
             dtype=float,
         )

@@ -297,7 +297,7 @@ class VideoSearchEnvironment:
             make_observation(chunk, video, vframe, match, cost)
             for (chunk, _), video, vframe, match, cost in zip(
                 request.picks, request.videos, request.frames, matches,
-                request.context,
+                request.context, strict=True,
             )
         ]
 
@@ -323,7 +323,7 @@ class VideoSearchEnvironment:
                 instance_uid=det.instance_uid,
                 track_id=track.track_id,
             )
-            for det, track in zip(d0, new_tracks)
+            for det, track in zip(d0, new_tracks, strict=True)
         ]
         origins = [
             track.origin_chunk if track.origin_chunk is not None else chunk
@@ -466,7 +466,7 @@ class QueryEngine:
                 videos, vframes = chunk_map.to_video_frame_batch(
                     trace.chunks, trace.frames
                 )
-                wanted = set(zip(videos.tolist(), vframes.tolist()))
+                wanted = set(zip(videos.tolist(), vframes.tolist(), strict=True))
                 for key, dets in cache.snapshot(scope).items():
                     if (key[1], key[2]) in wanted:
                         detections[key[1:]] = dets
@@ -747,6 +747,6 @@ class QueryEngine:
                 config=config,
                 **searcher_kwargs,
             )
-            for query, name, seed in zip(queries, methods, run_seeds)
+            for query, name, seed in zip(queries, methods, run_seeds, strict=True)
         ]
         return serve_sessions(sessions, engine=self, config=server_config)

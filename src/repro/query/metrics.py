@@ -47,7 +47,7 @@ def unique_instance_curve(trace: SearchTrace) -> np.ndarray:
     seen: set[int] = set()
     indices = result_sample_indices(trace)
     per_sample_new = np.zeros(trace.num_samples, dtype=np.int64)
-    for payload, sample_idx in zip(trace.results, indices):
+    for payload, sample_idx in zip(trace.results, indices, strict=True):
         uid = _payload_uid(payload)
         if uid is None or uid in seen:
             continue

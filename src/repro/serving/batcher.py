@@ -265,7 +265,7 @@ class DetectorBatcher:
         hits = self.stats.tenant_cache_hits
         for item in batch:
             count = 0
-            for video, frame in zip(item.request.videos, item.request.frames):
+            for video, frame in zip(item.request.videos, item.request.frames, strict=True):
                 key = (video, frame, class_filter)
                 if (key if scope is None else (scope,) + key) in cache:
                     count += 1

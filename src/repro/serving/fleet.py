@@ -231,7 +231,9 @@ async def _reap(process, grace: float) -> bool:
     loop = asyncio.get_running_loop()
     deadline = loop.time() + grace
     while process.is_alive() and loop.time() < deadline:
-        await asyncio.sleep(0.02)
+        # Polling is the only option: multiprocessing exposes no awaitable
+        # for child death, and the 20ms cadence bounds reap latency.
+        await asyncio.sleep(0.02)  # noqa: ASYNC110
     return not process.is_alive()
 
 
@@ -688,7 +690,9 @@ class FleetRouter:
                 and shard.process.is_alive()
                 and loop.time() < deadline
             ):
-                await asyncio.sleep(0.02)
+                # No awaitable exists for child-process exit; poll with a
+                # bounded deadline (kill below ends the wait regardless).
+                await asyncio.sleep(0.02)  # noqa: ASYNC110
             if shard.process.is_alive():
                 # The drain was ignored (wedged loop, stalled detector):
                 # escalate terminate -> kill so shutdown always returns.

@@ -62,7 +62,7 @@ import dataclasses
 import json
 import pickle
 import random
-from typing import Dict, Optional, Set
+from typing import ClassVar, Dict, Optional, Set
 
 import repro.errors as _errors
 from repro.errors import (
@@ -225,6 +225,39 @@ class _Connection:
                 pass
 
 
+# Retry contract of every wire op, consulted by
+# :meth:`FleetClient._request_retrying` and enforced by lint (SER402):
+# a transport failure leaves the client unsure whether the server
+# executed the request, so only ops marked True here may be retried
+# blindly. Session-creating and session-mutating ops are False — a
+# duplicated submit would burn detector budget twice, a duplicated
+# attach trips the per-connection sid check.
+OP_IDEMPOTENCY: Dict[str, bool] = {
+    "ping": True,
+    "stats": True,
+    "drain": True,
+    "submit": False,
+    "restore": False,
+    "attach": False,
+    "pause": False,
+    "checkpoint": False,
+    "evict": False,
+    "shutdown": False,
+}
+
+
+def _retrieve_task_exception(task: asyncio.Task) -> None:
+    """Done-callback that marks a task's exception as retrieved.
+
+    For tasks whose failure has nowhere useful to go (e.g. the detached
+    shutdown task — its requester's socket is already closed): without
+    this, a failure surfaces as "exception was never retrieved" noise at
+    garbage-collection time.
+    """
+    if not task.cancelled():
+        task.exception()
+
+
 class NetServer:
     """Serve one engine's :class:`QueryServer` over a TCP socket.
 
@@ -261,6 +294,10 @@ class NetServer:
         # a reconnecting client can re-subscribe via the attach op.
         self._registry: Dict[str, object] = {}
         self._gid_counter = 0
+        # The detached shutdown task (see _op_shutdown); retained here
+        # because stop() cancels everything in _op_tasks, which would
+        # include the very task running stop().
+        self._shutdown_task: Optional[asyncio.Task] = None
         self._wire_faults = None
         if faults:
             from repro.serving.faults import install_faults
@@ -624,13 +661,17 @@ class NetServer:
         conn.send({"rid": rid, "ok": True, "op": "shutdown"})
         # Ack first (the stop below closes this very connection), then
         # detach into a task so the dispatch task is not cancelled by the
-        # stop it is itself running.
-        asyncio.create_task(
+        # stop it is itself running. The handle is retained on the server
+        # (it cannot live in _op_tasks — stop() cancels those) and its
+        # exception is retrieved by the done-callback, so a failing stop
+        # no longer logs "exception was never retrieved" at GC time.
+        self._shutdown_task = asyncio.create_task(
             self.stop(
                 drain=bool(frame.get("drain", True)),
                 checkpoint=bool(frame.get("checkpoint", False)),
             )
         )
+        self._shutdown_task.add_done_callback(_retrieve_task_exception)
 
 
 async def serve_forever(
@@ -677,6 +718,12 @@ class RetryPolicy:
     max_delay: float = 1.0
     jitter: float = 0.5
 
+    # Jitter draws from a private stream so library backoff neither
+    # perturbs nor is perturbed by the process-global ``random`` module:
+    # an application that calls ``random.seed()`` for its own
+    # reproducibility keeps an untouched stream (DET101).
+    _jitter_rng: ClassVar[random.Random] = random.Random()
+
     def __post_init__(self) -> None:
         if self.attempts < 1:
             raise _errors.ConfigError("retry attempts must be >= 1")
@@ -686,7 +733,7 @@ class RetryPolicy:
     def backoff(self, attempt: int) -> float:
         """The wait before retry number ``attempt`` (0-based)."""
         delay = min(self.base_delay * (2 ** attempt), self.max_delay)
-        return delay + random.uniform(0.0, self.jitter * delay)
+        return delay + self._jitter_rng.uniform(0.0, self.jitter * delay)
 
 
 class RemoteSession:
@@ -950,7 +997,11 @@ class FleetClient:
             if timeout is None:
                 response = await future
             else:
-                response = await asyncio.wait_for(future, timeout)
+                # Plain future with no cleanup obligations: on timeout the
+                # pending rid is dropped below and a late response frame is
+                # discarded by _read_loop, so the bpo-42130 cancellation
+                # race cannot strand state.
+                response = await asyncio.wait_for(future, timeout)  # repro-lint: allow[AIO201]
         except (asyncio.TimeoutError, TimeoutError) as exc:
             self._pending.pop(rid, None)
             raise WireTimeoutError(
@@ -970,6 +1021,12 @@ class FleetClient:
         address) and backs off per :class:`RetryPolicy` between tries.
         Typed server errors are not retried — those are answers.
         """
+        op = frame.get("op")
+        if not OP_IDEMPOTENCY.get(op, False):
+            raise _errors.ProtocolError(
+                f"op {op!r} is not declared idempotent in OP_IDEMPOTENCY; "
+                "it must not be retried blindly"
+            )
         policy = self.retry
         last: Optional[BaseException] = None
         for attempt in range(policy.attempts):

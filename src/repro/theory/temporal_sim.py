@@ -109,7 +109,7 @@ class TemporalEnvironment:
         observe_global = self._observe_global
         return [
             observe_global(chunk, global_frame)
-            for chunk, global_frame in zip(chunks.tolist(), global_frames)
+            for chunk, global_frame in zip(chunks.tolist(), global_frames, strict=True)
         ]
 
     def _observe_global(self, chunk: int, global_frame: int) -> Observation:

@@ -203,7 +203,7 @@ class TrackDiscriminator:
             observe_full(video, frame, detections)
             if detections
             else FrameMatchResult()
-            for video, frame, detections in zip(videos, frames, detection_lists)
+            for video, frame, detections in zip(videos, frames, detection_lists, strict=True)
         ]
 
     def observe_full(

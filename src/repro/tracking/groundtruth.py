@@ -88,7 +88,7 @@ def approximate_ground_truth(
             detection_lists = detector.detect_batch(
                 [video_idx] * len(block), block
             )
-            for frame, detections in zip(block, detection_lists):
+            for frame, detections in zip(block, detection_lists, strict=True):
                 tracker.process_frame(video_idx, frame, detections)
             frames_scanned += len(block)
         for track in tracker.results():

@@ -52,7 +52,7 @@ def hungarian_match(
     rows, cols = linear_sum_assignment(-eligible)
     return [
         (int(r), int(c))
-        for r, c in zip(rows, cols)
+        for r, c in zip(rows, cols, strict=True)
         if iou[r, c] >= threshold
     ]
 

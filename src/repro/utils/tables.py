@@ -53,7 +53,7 @@ def ascii_table(
 
     def fmt_line(cells: Sequence[str], numeric: Sequence[bool]) -> str:
         parts = []
-        for cell, width, right in zip(cells, widths, numeric):
+        for cell, width, right in zip(cells, widths, numeric, strict=True):
             parts.append(cell.rjust(width) if right else cell.ljust(width))
         return "  ".join(parts).rstrip()
 

@@ -1,0 +1,536 @@
+"""Tests for repro.analysis: every rule gets a paired good/bad fixture,
+plus suppression semantics, baseline round-trips, the CLI surface, and
+the meta-test that the repo itself lints clean."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import analysis
+from repro.analysis import engine as engine_mod
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import FileContext
+from repro.analysis.suppress import SuppressionTable
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_source(tmp_path, code: str, rel: str, rules=None):
+    """Write ``code`` at ``src/<rel>`` under a scratch root and lint it."""
+    path = tmp_path / "src" / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(code)
+    specs = analysis.all_rules() if rules is None else [
+        analysis.get_rule(c) for c in rules
+    ]
+    findings, err = engine_mod.check_file(path, tmp_path, specs)
+    assert err is None, err
+    return findings
+
+
+def codes(findings, active_only=True):
+    return sorted(
+        f.rule for f in findings if (f.active or not active_only)
+    )
+
+
+# ---------------------------------------------------------------------------
+# determinism rules
+# ---------------------------------------------------------------------------
+
+
+class TestDet101ModuleGlobalRng:
+    def test_flags_module_random(self, tmp_path):
+        bad = "import random\n\ndef f():\n    return random.uniform(0, 1)\n"
+        assert codes(lint_source(tmp_path, bad, "repro/utils/x.py")) == ["DET101"]
+
+    def test_flags_np_random(self, tmp_path):
+        bad = "import numpy as np\n\ndef f():\n    return np.random.rand(3)\n"
+        assert codes(lint_source(tmp_path, bad, "repro/utils/x.py")) == ["DET101"]
+
+    def test_allows_instance_constructors(self, tmp_path):
+        good = (
+            "import random\nimport numpy as np\n\n"
+            "def f(seed):\n"
+            "    r = random.Random(seed)\n"
+            "    g = np.random.default_rng(seed)\n"
+            "    return r.random() + g.random()\n"
+        )
+        assert codes(lint_source(tmp_path, good, "repro/utils/x.py")) == []
+
+
+class TestDet102WallClock:
+    def test_flags_time_in_trace_affecting(self, tmp_path):
+        bad = "import time\n\ndef f():\n    return time.time_ns()\n"
+        assert codes(lint_source(tmp_path, bad, "repro/core/x.py")) == ["DET102"]
+
+    def test_serving_is_exempt(self, tmp_path):
+        ok = "import time\n\ndef f():\n    return time.time_ns()\n"
+        assert codes(lint_source(tmp_path, ok, "repro/serving/x.py")) == []
+
+
+class TestDet103UnorderedIteration:
+    def test_flags_set_iteration(self, tmp_path):
+        bad = "def f(ids):\n    for i in set(ids):\n        print(i)\n"
+        assert codes(lint_source(tmp_path, bad, "repro/core/x.py")) == ["DET103"]
+
+    def test_flags_set_literal_comprehension(self, tmp_path):
+        bad = "def f():\n    return [i for i in {3, 1, 2}]\n"
+        assert codes(lint_source(tmp_path, bad, "repro/core/x.py")) == ["DET103"]
+
+    def test_sorted_wrapper_passes(self, tmp_path):
+        good = "def f(ids):\n    for i in sorted(set(ids)):\n        print(i)\n"
+        assert codes(lint_source(tmp_path, good, "repro/core/x.py")) == []
+
+
+class TestDet104UnseededDefaultRng:
+    def test_flags_argless(self, tmp_path):
+        bad = (
+            "from numpy.random import default_rng\n\n"
+            "def f():\n    return default_rng()\n"
+        )
+        assert codes(lint_source(tmp_path, bad, "repro/core/x.py")) == ["DET104"]
+
+    def test_seeded_passes(self, tmp_path):
+        good = (
+            "from numpy.random import default_rng\n\n"
+            "def f(seed):\n    return default_rng(seed)\n"
+        )
+        assert codes(lint_source(tmp_path, good, "repro/core/x.py")) == []
+
+
+# ---------------------------------------------------------------------------
+# asyncio rules
+# ---------------------------------------------------------------------------
+
+
+class TestAio201BareWaitFor:
+    def test_flags_in_serving(self, tmp_path):
+        bad = (
+            "import asyncio\n\n"
+            "async def f(fut):\n    return await asyncio.wait_for(fut, 1.0)\n"
+        )
+        assert codes(lint_source(tmp_path, bad, "repro/serving/x.py")) == ["AIO201"]
+
+    def test_outside_serving_passes(self, tmp_path):
+        ok = (
+            "import asyncio\n\n"
+            "async def f(fut):\n    return await asyncio.wait_for(fut, 1.0)\n"
+        )
+        assert codes(lint_source(tmp_path, ok, "repro/utils/x.py")) == []
+
+
+class TestAio202DanglingTask:
+    def test_flags_bare_statement(self, tmp_path):
+        bad = (
+            "import asyncio\n\n"
+            "async def f(coro):\n    asyncio.create_task(coro())\n"
+        )
+        assert codes(lint_source(tmp_path, bad, "repro/serving/x.py")) == ["AIO202"]
+
+    def test_retained_handle_passes(self, tmp_path):
+        good = (
+            "import asyncio\n\n"
+            "async def f(coro, tasks):\n"
+            "    task = asyncio.create_task(coro())\n"
+            "    tasks.add(task)\n"
+            "    task.add_done_callback(tasks.discard)\n"
+        )
+        assert codes(lint_source(tmp_path, good, "repro/serving/x.py")) == []
+
+
+class TestAio203GetEventLoop:
+    def test_flags_get_event_loop(self, tmp_path):
+        bad = "import asyncio\n\ndef f():\n    return asyncio.get_event_loop()\n"
+        assert codes(lint_source(tmp_path, bad, "repro/serving/x.py")) == ["AIO203"]
+
+    def test_get_running_loop_passes(self, tmp_path):
+        good = "import asyncio\n\ndef f():\n    return asyncio.get_running_loop()\n"
+        assert codes(lint_source(tmp_path, good, "repro/serving/x.py")) == []
+
+
+# ---------------------------------------------------------------------------
+# lifecycle rules
+# ---------------------------------------------------------------------------
+
+
+class TestLif301ShmUnlink:
+    BAD = (
+        "from multiprocessing.shared_memory import SharedMemory\n\n"
+        "def make():\n"
+        "    return SharedMemory(name='x', create=True, size=64)\n"
+    )
+    GOOD = BAD + (
+        "\ndef close(shm):\n"
+        "    shm.close()\n"
+        "    shm.unlink()\n"
+    )
+
+    def test_flags_create_without_unlink(self, tmp_path):
+        assert codes(lint_source(tmp_path, self.BAD, "repro/parallel/x.py")) == [
+            "LIF301"
+        ]
+
+    def test_module_with_unlink_passes(self, tmp_path):
+        assert codes(lint_source(tmp_path, self.GOOD, "repro/parallel/x.py")) == []
+
+    def test_attach_only_passes(self, tmp_path):
+        ok = (
+            "from multiprocessing.shared_memory import SharedMemory\n\n"
+            "def attach(name):\n    return SharedMemory(name=name)\n"
+        )
+        assert codes(lint_source(tmp_path, ok, "repro/parallel/x.py")) == []
+
+
+class TestLif302AtomicWrite:
+    def test_flags_in_place_write(self, tmp_path):
+        bad = (
+            "def save(path, blob):\n"
+            "    with open(path, 'wb') as f:\n"
+            "        f.write(blob)\n"
+        )
+        assert codes(lint_source(tmp_path, bad, "repro/index/x.py")) == ["LIF302"]
+
+    def test_atomic_rename_passes(self, tmp_path):
+        good = (
+            "import os\n\n"
+            "def save(path, blob):\n"
+            "    tmp = path + '.tmp'\n"
+            "    with open(tmp, 'wb') as f:\n"
+            "        f.write(blob)\n"
+            "    os.replace(tmp, path)\n"
+        )
+        assert codes(lint_source(tmp_path, good, "repro/index/x.py")) == []
+
+    def test_reads_pass(self, tmp_path):
+        ok = (
+            "def load(path):\n"
+            "    with open(path, 'rb') as f:\n"
+            "        return f.read()\n"
+        )
+        assert codes(lint_source(tmp_path, ok, "repro/index/x.py")) == []
+
+    def test_outside_index_passes(self, tmp_path):
+        ok = (
+            "def save(path, blob):\n"
+            "    with open(path, 'wb') as f:\n"
+            "        f.write(blob)\n"
+        )
+        assert codes(lint_source(tmp_path, ok, "repro/utils/x.py")) == []
+
+
+# ---------------------------------------------------------------------------
+# serialization rules
+# ---------------------------------------------------------------------------
+
+
+class TestSer401FactoryClosure:
+    def test_flags_lambda_in_factory(self, tmp_path):
+        bad = (
+            "from repro.core.registry import register_searcher\n\n"
+            "@register_searcher('x')\n"
+            "def build(ctx):\n"
+            "    return Searcher(score=lambda c: 0.0)\n"
+        )
+        assert codes(lint_source(tmp_path, bad, "repro/baselines/x.py")) == ["SER401"]
+
+    def test_flags_nested_def(self, tmp_path):
+        bad = (
+            "from repro.core.registry import register_searcher\n\n"
+            "@register_searcher('x')\n"
+            "def build(ctx):\n"
+            "    def score(c):\n"
+            "        return 0.0\n"
+            "    return Searcher(score=score)\n"
+        )
+        assert codes(lint_source(tmp_path, bad, "repro/baselines/x.py")) == ["SER401"]
+
+    def test_plain_factory_passes(self, tmp_path):
+        good = (
+            "from repro.core.registry import register_searcher\n\n"
+            "@register_searcher('x')\n"
+            "def build(ctx):\n"
+            "    return Searcher(score=ModuleLevelScore(ctx))\n"
+        )
+        assert codes(lint_source(tmp_path, good, "repro/baselines/x.py")) == []
+
+    def test_undecorated_lambda_passes(self, tmp_path):
+        ok = "def helper():\n    return sorted([3, 1], key=lambda x: -x)\n"
+        assert codes(lint_source(tmp_path, ok, "repro/baselines/x.py")) == []
+
+
+class TestSer402OpIdempotency:
+    def test_flags_missing_table(self, tmp_path):
+        bad = (
+            "class Server:\n"
+            "    async def _op_ping(self, conn, rid, frame):\n"
+            "        pass\n"
+        )
+        assert codes(lint_source(tmp_path, bad, "repro/serving/x.py")) == ["SER402"]
+
+    def test_flags_missing_entry(self, tmp_path):
+        bad = (
+            "OP_IDEMPOTENCY = {'ping': True}\n\n"
+            "class Server:\n"
+            "    async def _op_ping(self, conn, rid, frame):\n"
+            "        pass\n"
+            "    async def _op_submit(self, conn, rid, frame):\n"
+            "        pass\n"
+        )
+        findings = lint_source(tmp_path, bad, "repro/serving/x.py")
+        assert codes(findings) == ["SER402"]
+        assert "submit" in findings[0].message
+
+    def test_full_table_passes(self, tmp_path):
+        good = (
+            "OP_IDEMPOTENCY = {'ping': True, 'submit': False}\n\n"
+            "class Server:\n"
+            "    async def _op_ping(self, conn, rid, frame):\n"
+            "        pass\n"
+            "    async def _op_submit(self, conn, rid, frame):\n"
+            "        pass\n"
+        )
+        assert codes(lint_source(tmp_path, good, "repro/serving/x.py")) == []
+
+
+# ---------------------------------------------------------------------------
+# suppression
+# ---------------------------------------------------------------------------
+
+
+class TestSuppression:
+    def test_line_allow(self, tmp_path):
+        code = (
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()  # repro-lint: allow[DET102] test clock\n"
+        )
+        findings = lint_source(tmp_path, code, "repro/core/x.py")
+        assert codes(findings) == []
+        assert codes(findings, active_only=False) == ["DET102"]
+        assert findings[0].suppressed
+
+    def test_line_allow_wrong_code_does_not_discharge(self, tmp_path):
+        code = (
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()  # repro-lint: allow[DET101]\n"
+        )
+        assert codes(lint_source(tmp_path, code, "repro/core/x.py")) == ["DET102"]
+
+    def test_star_allow(self, tmp_path):
+        code = (
+            "import time\n\n"
+            "def f():\n"
+            "    return time.time()  # repro-lint: allow[*]\n"
+        )
+        assert codes(lint_source(tmp_path, code, "repro/core/x.py")) == []
+
+    def test_file_allow(self, tmp_path):
+        code = (
+            "# repro-lint: allow-file[DET102] timing module, never traced\n"
+            "import time\n\n"
+            "def f():\n    return time.time()\n\n"
+            "def g():\n    return time.time_ns()\n"
+        )
+        assert codes(lint_source(tmp_path, code, "repro/core/x.py")) == []
+
+    def test_file_allow_past_header_is_ignored(self, tmp_path):
+        code = (
+            "import time\n" + "\n" * 25 +
+            "# repro-lint: allow-file[DET102]\n"
+            "def f():\n    return time.time()\n"
+        )
+        assert codes(lint_source(tmp_path, code, "repro/core/x.py")) == ["DET102"]
+
+    def test_parse_table_directly(self):
+        table = SuppressionTable.parse(
+            "x = 1  # repro-lint: allow[AIO201, AIO202] reason\n"
+        )
+        assert table.allows("AIO201", 1)
+        assert table.allows("AIO202", 1)
+        assert not table.allows("AIO203", 1)
+        assert not table.allows("AIO201", 2)
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+
+BAD_CLOCK = "import time\n\ndef f():\n    return time.time()\n"
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = lint_source(tmp_path, BAD_CLOCK, "repro/core/x.py")
+        assert codes(findings) == ["DET102"]
+        baseline = Baseline.from_findings(findings)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        reloaded = Baseline.load(path)
+        assert reloaded.entries == baseline.entries
+        assert reloaded.debt == 1
+
+        applied = reloaded.apply(findings)
+        assert all(f.baselined for f in applied)
+        assert codes(applied) == []
+
+    def test_budget_is_per_occurrence(self, tmp_path):
+        # Two identical offending lines, baseline recorded with both;
+        # a third copy must stay active.
+        two = BAD_CLOCK + "\ndef g():\n    return time.time()\n"
+        findings2 = lint_source(tmp_path, two, "repro/core/x.py")
+        baseline = Baseline.from_findings(findings2)
+        assert baseline.debt == 2
+
+        three = two + "\ndef h():\n    return time.time()\n"
+        findings3 = lint_source(tmp_path, three, "repro/core/x.py")
+        applied = baseline.apply(findings3)
+        assert sum(1 for f in applied if f.baselined) == 2
+        assert len([f for f in applied if f.active]) == 1
+
+    def test_fingerprint_survives_line_drift(self, tmp_path):
+        findings = lint_source(tmp_path, BAD_CLOCK, "repro/core/x.py")
+        baseline = Baseline.from_findings(findings)
+        shifted = "# a new leading comment\n" + BAD_CLOCK
+        applied = baseline.apply(
+            lint_source(tmp_path, shifted, "repro/core/x.py")
+        )
+        assert codes(applied) == []
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert baseline.entries == {}
+        assert baseline.debt == 0
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+# ---------------------------------------------------------------------------
+# engine + registry
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_at_least_ten_rules_registered(self):
+        rules = analysis.all_rules()
+        assert len(rules) >= 10
+        # Every rule docstring cites its motivation (a PR or bug).
+        for spec in rules:
+            assert "PR" in spec.doc or "bpo" in spec.doc, spec.code
+
+    def test_rule_filter(self, tmp_path):
+        code = (
+            "import time\nimport random\n\n"
+            "def f():\n    return time.time() + random.random()\n"
+        )
+        only_det101 = lint_source(
+            tmp_path, code, "repro/core/x.py", rules=["DET101"]
+        )
+        assert codes(only_det101) == ["DET101"]
+
+    def test_unknown_rule_code(self):
+        with pytest.raises(KeyError):
+            analysis.get_rule("XXX999")
+
+    def test_parse_error_reported(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "core" / "broken.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("def f(:\n")
+        result = analysis.run_lint([path], tmp_path)
+        assert not result.ok
+        assert result.parse_errors
+
+    def test_module_name_mapping(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "core" / "x.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("x = 1\n")
+        ctx = FileContext.load(path, tmp_path)
+        assert ctx.module == "repro.core.x"
+        assert ctx.package == "repro.core"
+        assert ctx.in_package(("repro.core",))
+        assert not ctx.in_package(("repro.corex",))
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        out = io.StringIO()
+        code = main(["lint", *argv], out=out)
+        return code, out.getvalue()
+
+    def test_json_format(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+        # Outside any repro package: DET102 does not apply, so this file
+        # is clean and the run exits 0.
+        code, output = self.run_cli(str(bad), "--format", "json")
+        payload = json.loads(output)
+        assert code == 0
+        assert payload["ok"] is True
+        assert payload["files_checked"] == 1
+
+    def test_exit_one_on_findings(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+        code, output = self.run_cli(
+            str(bad), "--baseline", str(tmp_path / "none.json")
+        )
+        assert code == 1
+        assert "DET102" in output
+
+    def test_write_baseline_then_clean(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+        baseline = tmp_path / "baseline.json"
+        code, _ = self.run_cli(
+            str(bad), "--baseline", str(baseline), "--write-baseline"
+        )
+        assert code == 0 and baseline.exists()
+        code, output = self.run_cli(str(bad), "--baseline", str(baseline))
+        assert code == 0
+
+    def test_stats_table(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        code, output = self.run_cli(str(clean), "--stats")
+        assert code == 0
+        assert "findings by rule" in output
+        assert "baseline debt" in output
+
+
+# ---------------------------------------------------------------------------
+# the repo itself ships lint-clean
+# ---------------------------------------------------------------------------
+
+
+class TestRepoIsClean:
+    def test_repo_lints_clean(self):
+        baseline = Baseline.load(REPO_ROOT / analysis.DEFAULT_BASELINE)
+        result = analysis.run_lint(
+            [REPO_ROOT / "src" / "repro"], REPO_ROOT, baseline=baseline
+        )
+        active = [f"{f.path}:{f.line} {f.rule}" for f in result.active]
+        assert result.ok, f"repo lint failures: {active}"
+        assert result.files_checked > 50
+
+    def test_cli_exit_zero_on_repo(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        out = io.StringIO()
+        assert main(["lint"], out=out) == 0

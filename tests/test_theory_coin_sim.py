@@ -53,7 +53,7 @@ class TestRunStatistics:
         p = spawn_rng(2, "p").uniform(0.001, 0.05, size=200)
         checkpoints = np.array([10, 50, 200])
         tuples = simulate_many_runs(p, checkpoints, 800, spawn_rng(3, "r"))
-        for i, n in enumerate(checkpoints):
+        for n in checkpoints:
             mask = tuples.n == n
             assert np.mean(tuples.n1[mask]) == pytest.approx(
                 expected_n1(p, int(n)), rel=0.08
