@@ -87,6 +87,57 @@ def dangling_task(ctx: FileContext) -> Iterator[Finding]:
             )
 
 
+def _receiver_names(node: ast.expr) -> Iterator[str]:
+    """Identifier components of a call receiver (``a.b.c`` -> c, b, a)."""
+    while isinstance(node, ast.Attribute):
+        yield node.attr
+        node = node.value
+    if isinstance(node, ast.Name):
+        yield node.id
+
+
+@register_rule("AIO204", "inline-detect-in-coroutine")
+def inline_detect_in_coroutine(ctx: FileContext) -> Iterator[Finding]:
+    """Detector calls inside coroutines must go through an executor.
+
+    A direct ``detector.detect(...)`` / ``detector.detect_batch(...)``
+    inside an ``async def`` in ``repro.serving`` blocks the event loop
+    for the full model-inference latency — the regression the detector
+    executors PR exists to prevent (fused batching cut detector calls
+    5.33x but fused wall-clock *lost* to solo because ``detect_batch``
+    ran inline on the loop).  Route the call through
+    ``DetectorExecutor.submit`` (``serving/executors.py``) so runnable
+    sessions keep proposing while detection runs off-loop; the inline
+    executor exists for the rare case where blocking is intended, and
+    makes that choice explicit.
+    """
+    if not ctx.in_package(_SERVING):
+        return
+    assert ctx.tree is not None
+    for outer in ast.walk(ctx.tree):
+        if not isinstance(outer, ast.AsyncFunctionDef):
+            continue
+        for node in ast.walk(outer):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("detect", "detect_batch")
+            ):
+                continue
+            # Key on the receiver so the batcher's own async ``detect``
+            # front door (``self._batcher.detect(...)``) stays legal.
+            if any(
+                "detector" in name.lower()
+                for name in _receiver_names(node.func.value)
+            ):
+                yield ctx.finding(
+                    "AIO204", node,
+                    f"direct detector.{node.func.attr} inside a coroutine "
+                    "blocks the event loop; submit through a "
+                    "DetectorExecutor (serving/executors.py)",
+                )
+
+
 @register_rule("AIO203", "deprecated-get-event-loop")
 def deprecated_get_event_loop(ctx: FileContext) -> Iterator[Finding]:
     """Use ``asyncio.get_running_loop()``, never ``get_event_loop()``.

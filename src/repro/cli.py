@@ -170,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduling policy for admission and batch assembly",
     )
     serve.add_argument(
+        "--executor", default=None, metavar="SPEC",
+        help="detector executor spec: inline, thread[:N], or "
+             "process[:N|:start-method] (results are unaffected; thread/"
+             "process overlap fused detection with session CPU work); "
+             "default: the workload file's 'executor' key, else inline",
+    )
+    serve.add_argument(
         "--no-batching", action="store_true",
         help="disable cross-session batching (per-session detector calls; "
              "results are unaffected, detector call counts are not)",
@@ -225,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", default="round_robin",
         choices=sorted(SCHEDULING_POLICIES),
         help="scheduling policy inside each shard server",
+    )
+    fleet.add_argument(
+        "--executor", default=None, metavar="SPEC",
+        help="detector executor spec inside each shard server: inline, "
+             "thread[:N], or process[:N|:start-method] (results are "
+             "unaffected); default: the workload file's 'executor' key, "
+             "else inline",
     )
     fleet.add_argument(
         "--no-shared-cache", action="store_true",
@@ -587,11 +601,14 @@ def _cmd_serve(args, out) -> int:
     """Replay a workload of timed query arrivals against a QueryServer."""
     import asyncio
 
-    from repro.serving import ServerConfig, load_workload, replay
+    from repro.serving import ServerConfig, load_executor, load_workload, replay
 
     if (args.workload is None) == (args.listen is None):
         print("serve needs exactly one of --workload or --listen", file=out)
         return 1
+    executor = args.executor
+    if executor is None and args.workload is not None:
+        executor = load_executor(args.workload)
     dataset = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
     engine = QueryEngine(
         dataset, seed=args.seed, detection_cache=args.cache, index=args.index
@@ -603,6 +620,7 @@ def _cmd_serve(args, out) -> int:
         flush_latency=args.flush_ms / 1000.0,
         policy=args.policy,
         batching=not args.no_batching,
+        executor=executor or "inline",
     )
     if args.listen is not None:
         from repro.serving.net import serve_forever
@@ -678,6 +696,7 @@ def _cmd_fleet(args, out) -> int:
     from repro.serving import (
         FleetConfig,
         ServerConfig,
+        load_executor,
         load_faults,
         load_workload,
     )
@@ -704,6 +723,9 @@ def _cmd_fleet(args, out) -> int:
         server=ServerConfig(
             max_in_flight=args.max_in_flight,
             policy=args.policy,
+            executor=(
+                args.executor or load_executor(args.workload) or "inline"
+            ),
         ),
         index=args.index,
         checkpoint_every=args.checkpoint_every,

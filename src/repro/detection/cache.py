@@ -202,6 +202,20 @@ class DetectionCache:
         """
         return key in self._store
 
+    def contains_many(self, keys) -> List[bool]:
+        """Counter-free presence probes under a single lock acquisition.
+
+        One consistent point-in-time answer for a whole batch of keys:
+        with detector calls running off the event loop (thread/process
+        executors), per-key ``in`` probes could interleave with a
+        concurrent batch's ``put`` calls and attribute hits that did not
+        exist when the batch was assembled. Probing every key under one
+        lock hold pins the snapshot to a single instant.
+        """
+        with self._lock:
+            store = self._store
+            return [key in store for key in keys]
+
     @staticmethod
     def _scope_of(key: CacheKey) -> str:
         """The scope component of a key ('' for legacy un-scoped keys)."""

@@ -4,13 +4,24 @@ The event-loop front end over the library's resumable search steppers:
 :class:`QueryServer` runs many :class:`~repro.query.session.QuerySession`
 s concurrently, :class:`DetectorBatcher` coalesces their pending frame
 requests into fused detector batches (the cross-session batching the
-ROADMAP's async-serving item calls for), and scheduling policies order
-admission and batch assembly. Entry points: ``engine.serve()`` for async
-code, ``engine.run_many`` for the blocking wrapper, ``repro serve`` for
-workload replay from the command line.
+ROADMAP's async-serving item calls for), detector executors run the
+fused calls off-loop (thread/process pools with double-buffered
+pipelining, see :mod:`repro.serving.executors`), and scheduling policies
+order admission and batch assembly. Entry points: ``engine.serve()`` for
+async code, ``engine.run_many`` for the blocking wrapper, ``repro
+serve`` for workload replay from the command line.
 """
 
 from repro.serving.batcher import BatcherStats, DetectorBatcher
+from repro.serving.executors import (
+    DETECTOR_EXECUTORS,
+    DetectorExecutor,
+    InlineDetectorExecutor,
+    ProcessDetectorExecutor,
+    ThreadDetectorExecutor,
+    make_executor,
+    register_executor,
+)
 from repro.serving.faults import (
     FaultPlan,
     FaultSpec,
@@ -55,6 +66,7 @@ from repro.serving.server import (
 from repro.serving.workload import (
     WorkloadItem,
     item_from_json,
+    load_executor,
     load_workload,
     replay,
     save_workload,
@@ -62,7 +74,9 @@ from repro.serving.workload import (
 
 __all__ = [
     "BatcherStats",
+    "DETECTOR_EXECUTORS",
     "DetectorBatcher",
+    "DetectorExecutor",
     "FaultPlan",
     "FaultSpec",
     "FleetClient",
@@ -70,10 +84,12 @@ __all__ = [
     "FleetHandle",
     "FleetRouter",
     "FleetStats",
+    "InlineDetectorExecutor",
     "LatencyStats",
     "NetServer",
     "PLACEMENT_POLICIES",
     "PlacementPolicy",
+    "ProcessDetectorExecutor",
     "QueryServer",
     "RemoteSession",
     "RetryPolicy",
@@ -83,12 +99,16 @@ __all__ = [
     "ServerStats",
     "SessionHandle",
     "TenantStats",
+    "ThreadDetectorExecutor",
     "WorkloadItem",
     "item_from_json",
+    "load_executor",
     "load_faults",
     "load_workload",
+    "make_executor",
     "make_placement_policy",
     "make_scheduling_policy",
+    "register_executor",
     "register_placement",
     "register_policy",
     "replay",

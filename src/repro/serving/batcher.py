@@ -24,15 +24,33 @@ Flush triggers (first wins):
 * **latency** — ``flush_latency`` seconds elapsed since the first pending
   request, a bound on the queueing delay a lone session can suffer while
   arrivals trickle in.
+
+Execution and pipelining
+------------------------
+
+*Where* an assembled batch runs is delegated to a
+:class:`~repro.serving.executors.DetectorExecutor`. The inline executor
+(the default) detects synchronously inside the flush — the historical
+behaviour. Off-loop executors (thread/process) turn the batcher into a
+double-buffered pipeline: up to ``pipeline_depth`` batches detect
+concurrently off-loop while the loop keeps assembling the next one from
+resuming sessions; batches assembled beyond that depth are *deferred*
+(queued, not dispatched) until a slot frees — back-pressure that costs
+no loop stall, because every session owning a deferred request is
+already parked on its future. Composition stays decided on the loop at
+flush time, so what each batch *computes* is independent of where or
+when it executes.
 """
 
 from __future__ import annotations
 
 import asyncio
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.core.environment import FrameRequest
+from repro.serving.executors import DetectorExecutor, InlineDetectorExecutor
 from repro.serving.policies import SchedulingPolicy
 
 __all__ = ["BatcherStats", "DetectorBatcher"]
@@ -46,6 +64,23 @@ class _PendingDetect:
     request: FrameRequest
     handle: object  # SessionHandle (duck-typed: seq/tenant/num_samples/deadline)
     future: "asyncio.Future[List[list]]"
+
+
+@dataclass(eq=False)  # identity hash: jobs live in the in-flight set
+class _BatchJob:
+    """One assembled fused call: composition frozen, execution pending.
+
+    Built on the loop at flush time — the videos/frames concatenation,
+    the member list and the cache-hit attribution snapshot are all fixed
+    here, so dispatch order and executor timing can never change what the
+    batch computes or whom it credits.
+    """
+
+    detector: object
+    class_filter: Optional[str]
+    videos: List[int]
+    frames: List[int]
+    items: List[_PendingDetect]
 
 
 @dataclass
@@ -64,6 +99,18 @@ class BatcherStats:
     frames: int = 0
     flushes: int = 0
     max_occupancy: int = 0
+    #: Batches handed to an off-loop executor (inline execution counts
+    #: in ``detector_calls`` only).
+    dispatched_batches: int = 0
+    #: Batches that found the pipeline full and waited for a slot.
+    deferred_batches: int = 0
+    #: Most batches ever detecting concurrently (≤ ``pipeline_depth``).
+    peak_in_flight: int = 0
+    #: Wall-clock seconds during which ≥1 batch was detecting off-loop —
+    #: the union of in-flight intervals, not their sum. Compared against
+    #: total wall-clock it measures overlap: loop work done during these
+    #: seconds is time pipelining saved.
+    offloop_busy_s: float = 0.0
     tenant_requests: Dict[str, int] = field(default_factory=dict)
     tenant_frames: Dict[str, int] = field(default_factory=dict)
     tenant_cache_hits: Dict[str, int] = field(default_factory=dict)
@@ -100,7 +147,19 @@ class DetectorBatcher:
         a request (the server's count of running sessions). When pending
         requests reach the hint, the batch is flushed without waiting out
         the latency window — with a synchronous detector this makes
-        fusing deterministic and latency-free.
+        fusing deterministic and latency-free. Sessions whose requests
+        are already dispatched or deferred are subtracted from the hint:
+        they cannot submit again until their batch resolves, so waiting
+        for them would stall the assembling buffer forever.
+    executor:
+        A :class:`~repro.serving.executors.DetectorExecutor` deciding
+        where assembled batches run (default: inline, the historical
+        synchronous behaviour). The batcher only uses the executor; the
+        server owns its lifecycle.
+    pipeline_depth:
+        Maximum batches detecting off-loop concurrently (ignored by
+        inline executors). 2 is the classic double buffer: batch N
+        detects while batch N+1 assembles.
     """
 
     def __init__(
@@ -109,14 +168,29 @@ class DetectorBatcher:
         max_batch_size: int = 256,
         flush_latency: float = 0.002,
         outstanding_hint: Optional[Callable[[], int]] = None,
+        executor: Optional[DetectorExecutor] = None,
+        pipeline_depth: int = 2,
     ):
         self.policy = policy
         self.max_batch_size = max(1, int(max_batch_size))
         self.flush_latency = float(flush_latency)
         self._outstanding_hint = outstanding_hint
+        self.executor = executor if executor is not None else InlineDetectorExecutor()
+        self.pipeline_depth = max(1, int(pipeline_depth))
         self._pending: List[_PendingDetect] = []
         self._pending_frames = 0
         self._timer: Optional[asyncio.TimerHandle] = None
+        #: Jobs currently executing off-loop (≤ pipeline_depth).
+        self._in_flight: "set[_BatchJob]" = set()
+        #: Assembled jobs waiting for an in-flight slot (back-pressure
+        #: buffer; bounded in practice by the server's session cap —
+        #: every deferred request's session is parked on its future).
+        self._deferred: "Deque[_BatchJob]" = deque()
+        #: Requests inside dispatched/deferred jobs: their sessions are
+        #: blocked and must not be awaited by the quiescence trigger.
+        self._blocked_requests = 0
+        self._busy_since: Optional[float] = None
+        self._settle_waiters: List["asyncio.Future[None]"] = []
         self.stats = BatcherStats()
 
     # -- the awaiting side ---------------------------------------------------
@@ -164,7 +238,12 @@ class DetectorBatcher:
         if not self._pending:
             return False
         hint = self._outstanding_hint() if self._outstanding_hint else None
-        if hint is not None and len(self._pending) >= hint:
+        if hint is None:
+            return False
+        # Sessions blocked inside in-flight/deferred batches cannot add
+        # to the pending set; the assembling buffer is quiescent once the
+        # *free* sessions are all accounted for.
+        if len(self._pending) >= hint - self._blocked_requests:
             self._flush()
             return True
         return False
@@ -216,6 +295,7 @@ class DetectorBatcher:
             self._execute(batch)
 
     def _execute(self, batch: List[_PendingDetect]) -> None:
+        """Freeze one batch's composition and hand it to the executor."""
         detector = batch[0].detector
         class_filter = batch[0].request.class_filter
         videos: List[int] = []
@@ -223,52 +303,154 @@ class DetectorBatcher:
         for item in batch:
             videos.extend(item.request.videos)
             frames.extend(item.request.frames)
+        # Attribution snapshots here, at assembly — before this batch (or
+        # any batch dispatched after it) can touch the cache.
         self._attribute_cache_hits(detector, class_filter, batch)
+        job = _BatchJob(detector, class_filter, videos, frames, batch)
+        self._blocked_requests += len(batch)
+        executor = self.executor
+        if not executor.off_loop:
+            try:
+                detections = executor.run(
+                    detector, videos, frames, class_filter
+                )
+            except Exception as exc:
+                self._complete(job, None, exc)
+                return
+            self._complete(job, detections, None)
+            return
+        if len(self._in_flight) >= self.pipeline_depth:
+            self._deferred.append(job)
+            self.stats.deferred_batches += 1
+            return
+        self._dispatch(job)
+
+    def _dispatch(self, job: _BatchJob) -> None:
+        """Start one assembled job on the off-loop executor."""
+        loop = asyncio.get_running_loop()
+        stats = self.stats
+        if not self._in_flight:
+            self._busy_since = loop.time()
+        self._in_flight.add(job)
+        stats.dispatched_batches += 1
+        stats.peak_in_flight = max(stats.peak_in_flight, len(self._in_flight))
         try:
-            detections = detector.detect_batch(
-                videos, frames, class_filter=class_filter
+            inner = self.executor.submit(
+                job.detector, job.videos, job.frames, job.class_filter, loop
             )
         except Exception as exc:
-            for item in batch:
+            self._in_flight.discard(job)
+            self._complete(job, None, exc)
+            self._refill_and_settle(loop)
+            return
+        inner.add_done_callback(
+            lambda fut, job=job: self._on_job_done(job, fut)
+        )
+
+    def _on_job_done(self, job: _BatchJob, fut: "asyncio.Future") -> None:
+        """Executor callback (runs on the loop): distribute and refill."""
+        loop = asyncio.get_running_loop()
+        self._in_flight.discard(job)
+        if not self._in_flight and self._busy_since is not None:
+            self.stats.offloop_busy_s += max(
+                0.0, loop.time() - self._busy_since
+            )
+            self._busy_since = None
+        if fut.cancelled():
+            self._blocked_requests -= len(job.items)
+            for item in job.items:
+                if not item.future.done():
+                    item.future.cancel()
+        else:
+            exc = fut.exception()  # always retrieved, even if all awaiters left
+            self._complete(job, None if exc is not None else fut.result(), exc)
+        self._refill_and_settle(loop)
+
+    def _refill_and_settle(self, loop: asyncio.AbstractEventLoop) -> None:
+        while self._deferred and len(self._in_flight) < self.pipeline_depth:
+            self._dispatch(self._deferred.popleft())
+        if not self._in_flight and not self._deferred:
+            waiters, self._settle_waiters = self._settle_waiters, []
+            for waiter in waiters:
+                if not waiter.done():
+                    waiter.set_result(None)
+
+    def _complete(
+        self, job: _BatchJob, detections: Optional[List[list]], exc
+    ) -> None:
+        """Resolve one finished job's member futures and counters."""
+        self._blocked_requests -= len(job.items)
+        if exc is not None:
+            for item in job.items:
                 if not item.future.cancelled():
                     item.future.set_exception(exc)
             return
         stats = self.stats
         stats.detector_calls += 1
-        stats.frames += len(frames)
-        stats.max_occupancy = max(stats.max_occupancy, len(frames))
+        stats.frames += len(job.frames)
+        stats.max_occupancy = max(stats.max_occupancy, len(job.frames))
         offset = 0
-        for item in batch:
+        for item in job.items:
             n = len(item.request)
             if not item.future.cancelled():
                 item.future.set_result(detections[offset : offset + n])
             offset += n
 
+    async def settle(self) -> None:
+        """Wait until no batch is in flight or deferred.
+
+        Drain and shutdown call this after :meth:`flush` so off-loop
+        detect futures resolve (and their sessions observe the results)
+        before the executor is released. Immediate no-op under the inline
+        executor.
+        """
+        while self._in_flight or self._deferred:
+            waiter: "asyncio.Future[None]" = (
+                asyncio.get_running_loop().create_future()
+            )
+            self._settle_waiters.append(waiter)
+            await waiter
+
     def _attribute_cache_hits(
         self, detector, class_filter, batch: List[_PendingDetect]
     ) -> None:
-        """Count, per tenant, requested frames already memoized.
+        """Count, per tenant, requested frames memoized *at assembly*.
 
-        Uses the cache's counter-free ``in`` probe, so the attribution
-        never perturbs the cache's own hit/miss statistics. Frames two
-        tenants request in the *same* fused call count as cached for
-        neither — the generation is shared, which is a batching win, not
-        a cache hit. Caches whose ``in`` is not an in-process lookup
-        (``fast_contains = False``, e.g. the manager-proxy shared cache)
-        are skipped: a statistic is not worth one IPC round-trip per
-        frame on the event loop.
+        The snapshot is taken once per batch, under a single cache-lock
+        hold (``contains_many``), at the moment the batch's composition
+        freezes. With off-loop executors another batch's results can land
+        in the cache at any wall-clock instant; per-key ``in`` probes
+        could straddle such a landing and attribute a half-updated view.
+        Counter-free probes keep the cache's own hit/miss statistics
+        unperturbed. Frames two tenants request in the *same* fused call
+        count as cached for neither — the generation is shared, which is
+        a batching win, not a cache hit. Caches whose probe is not an
+        in-process lookup (``fast_contains = False``, e.g. the
+        manager-proxy shared cache) are skipped: a statistic is not worth
+        an IPC round-trip on the event loop.
         """
         cache = getattr(detector, "cache", None)
         if cache is None or not getattr(cache, "fast_contains", False):
             return
         scope = detector.cache_scope() if getattr(cache, "scoped", False) else None
-        hits = self.stats.tenant_cache_hits
+        keys = []
         for item in batch:
-            count = 0
-            for video, frame in zip(item.request.videos, item.request.frames, strict=True):
+            for video, frame in zip(
+                item.request.videos, item.request.frames, strict=True
+            ):
                 key = (video, frame, class_filter)
-                if (key if scope is None else (scope,) + key) in cache:
-                    count += 1
+                keys.append(key if scope is None else (scope,) + key)
+        probe = getattr(cache, "contains_many", None)
+        if probe is not None:
+            present = probe(keys)
+        else:  # duck-typed cache without the batched probe
+            present = [key in cache for key in keys]
+        hits = self.stats.tenant_cache_hits
+        offset = 0
+        for item in batch:
+            n = len(item.request)
+            count = sum(present[offset : offset + n])
+            offset += n
             if count:
                 tenant = getattr(item.handle, "tenant", "default")
                 hits[tenant] = hits.get(tenant, 0) + count

@@ -166,6 +166,16 @@ class FleetConfig:
             raise ConfigError("max_restarts must be >= 0")
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise ConfigError("faults must be a FaultPlan (or None)")
+        if not isinstance(self.server.executor, (str, type(None))):
+            # _ShardSpec pickles the ServerConfig into each shard child;
+            # an executor *instance* owns pools/threads that cannot (and
+            # must not) cross a process boundary.
+            raise ConfigError(
+                "fleet server configs must name their detector executor "
+                "by spec string (e.g. 'thread', 'process:spawn'); "
+                "DetectorExecutor instances cannot be shipped to shard "
+                "processes"
+            )
 
 
 @dataclass(frozen=True)
@@ -185,6 +195,12 @@ class _ShardSpec:
     #: a crash carry only the ``repeat=True`` subset, so one scripted
     #: kill does not become a crash loop.
     faults: tuple = ()
+
+
+def _shard_spawns_children(server: ServerConfig) -> bool:
+    """Whether this server config makes a shard start its own processes."""
+    spec = server.executor
+    return isinstance(spec, str) and spec.partition(":")[0] == "process"
 
 
 def _shard_main(spec: _ShardSpec, conn) -> None:
@@ -600,7 +616,12 @@ class FleetRouter:
             target=_shard_main,
             args=(spec, child_conn),
             name=f"repro-shard-{spec.index}",
-            daemon=True,
+            # Daemonic children may not spawn children of their own — but
+            # a shard whose server runs the *process* detector executor
+            # must start pool workers. Those shards run non-daemonic;
+            # shutdown's terminate→kill→reap escalation guarantees they
+            # are collected on every exit path regardless.
+            daemon=not _shard_spawns_children(spec.server),
         )
         process.start()
         child_conn.close()

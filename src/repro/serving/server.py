@@ -46,6 +46,12 @@ from repro.core.environment import batched_observe
 from repro.detection.cache import CacheInfo
 from repro.errors import QueryError, ServerDrainingError, ServerOverloadedError
 from repro.serving.batcher import BatcherStats, DetectorBatcher
+from repro.serving.executors import (
+    DetectorExecutor,
+    ExecutorSpec,
+    make_executor,
+    validate_executor_spec,
+)
 from repro.serving.policies import SchedulingPolicy, make_scheduling_policy
 
 __all__ = [
@@ -82,6 +88,17 @@ class ServerConfig:
         When False, every session calls the detector itself (per-session
         stepping — the pre-server behaviour). Outcomes are identical
         either way; only detector call counts and latency change.
+    executor:
+        Where fused detector calls run: a registered name (``"inline"``,
+        ``"thread"``, ``"process"``, optionally ``"name:arg"`` like
+        ``"thread:4"`` or ``"process:spawn"``), or a
+        :class:`~repro.serving.executors.DetectorExecutor` instance
+        (whose lifecycle then stays with the caller). Off-loop executors
+        overlap detection with session CPU work; outcomes are identical
+        under every executor.
+    pipeline_depth:
+        Maximum fused batches detecting off-loop concurrently (the
+        double buffer; ignored by the inline executor).
     """
 
     max_in_flight: int = 8
@@ -90,12 +107,17 @@ class ServerConfig:
     flush_latency: float = 0.002
     policy: Union[str, SchedulingPolicy] = "round_robin"
     batching: bool = True
+    executor: ExecutorSpec = "inline"
+    pipeline_depth: int = 2
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
             raise QueryError("max_in_flight must be >= 1")
         if self.queue_capacity < 0:
             raise QueryError("queue_capacity must be >= 0")
+        if self.pipeline_depth < 1:
+            raise QueryError("pipeline_depth must be >= 1")
+        validate_executor_spec(self.executor)
 
 
 @dataclass(frozen=True)
@@ -162,9 +184,12 @@ class ServerStats:
     detect_wait: LatencyStats
     turnaround: LatencyStats
     cache: Optional[CacheInfo] = None
+    #: Name of the detector executor fused calls ran on.
+    executor: str = "inline"
 
     def describe(self) -> str:
         """A compact human-readable multi-line summary."""
+        b = self.batcher
         lines = [
             (
                 f"sessions: {self.finished}/{self.submitted} finished "
@@ -177,6 +202,13 @@ class ServerStats:
                 f"{self.detector_frames} frames, "
                 f"occupancy {self.batch_occupancy:.1f} frames/call, "
                 f"fusion {self.fusion_ratio:.1f} requests/call"
+            ),
+            (
+                f"executor: {self.executor} — "
+                f"{b.dispatched_batches} dispatched, "
+                f"{b.deferred_batches} deferred, "
+                f"peak depth {b.peak_in_flight}, "
+                f"off-loop busy {b.offloop_busy_s * 1e3:.1f}ms"
             ),
             (
                 f"latency: detect-wait p50 {self.detect_wait.p50 * 1e3:.2f}ms "
@@ -321,11 +353,20 @@ class QueryServer:
         self.engine = engine
         self.config = config or ServerConfig()
         self.policy = make_scheduling_policy(self.config.policy)
+        # An executor built from a spec string belongs to this server
+        # (closed by aclose); a passed-in instance stays with its owner,
+        # so one pool can serve several servers or test fixtures.
+        self._owns_executor = not isinstance(
+            self.config.executor, DetectorExecutor
+        )
+        self.executor = make_executor(self.config.executor)
         self._batcher = DetectorBatcher(
             self.policy,
             max_batch_size=self.config.max_batch_size,
             flush_latency=self.config.flush_latency,
             outstanding_hint=self._running_count,
+            executor=self.executor,
+            pipeline_depth=self.config.pipeline_depth,
         )
         self._seq = 0
         self._handles: List[SessionHandle] = []
@@ -485,6 +526,9 @@ class QueryServer:
         # their next batch boundary (and see a pause request) promptly.
         self._batcher.flush()
         await self.drain()
+        # Every session is terminal, so nothing new can be dispatched:
+        # settle whatever the pipeline still holds and release the pool.
+        await self.aclose()
 
     def evict_finished(self) -> int:
         """Forget terminal sessions; returns how many were evicted.
@@ -569,6 +613,7 @@ class QueryServer:
                 if h.ended_at is not None and h.submitted_at is not None
             ),
             cache=cache_info,
+            executor=self.executor.describe(),
         )
 
     # -- the event loop core -------------------------------------------------
@@ -703,6 +748,23 @@ class QueryServer:
                     ServerOverloadedError("server shut down")
                 )
         await asyncio.gather(*self._tasks.values(), return_exceptions=True)
+        # Cancelled sessions have abandoned their detect futures; any
+        # batch still executing off-loop resolves into cancelled futures
+        # (results discarded, exceptions retrieved) before the pool goes.
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Settle off-loop detector work and release an owned executor.
+
+        Called by :meth:`drain_gracefully`, :meth:`shutdown` and the
+        :func:`serve_sessions` wrapper; idempotent, and safe to call on a
+        server that never dispatched anything. Executors passed into
+        :class:`ServerConfig` as instances are settled but *not* closed —
+        their owner decides when the pool dies.
+        """
+        await self._batcher.settle()
+        if self._owns_executor:
+            await self.executor.aclose()
 
 
 def serve_sessions(
@@ -728,8 +790,11 @@ def serve_sessions(
 
     async def _go():
         server = QueryServer(engine, config)
-        handles = [await server.submit(session=s) for s in sessions]
-        return [await h.result() for h in handles]
+        try:
+            handles = [await server.submit(session=s) for s in sessions]
+            return [await h.result() for h in handles]
+        finally:
+            await server.aclose()
 
     try:
         asyncio.get_running_loop()

@@ -29,6 +29,13 @@ shard index, overriding the placement policy (e.g. to reproduce a
 placement-sensitive incident), and ``pause_after`` pauses the session
 after that many fulfilled steps — checkpointable where it stands, the
 way a migration test stages a session mid-flight.
+
+The ``{"queries": [...]}`` object form also accepts a top-level
+``"executor"`` key — a detector executor spec string (``"inline"``,
+``"thread:2"``, ``"process:spawn"``, …) recorded with the workload so a
+replay reproduces the serving mode it was captured under. Read it with
+:func:`load_executor`; ``repro serve``/``repro fleet`` use it as the
+default when no ``--executor`` flag is given.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ from repro.query.query import DistinctObjectQuery
 __all__ = [
     "WorkloadItem",
     "item_from_json",
+    "load_executor",
     "load_workload",
     "replay",
     "save_workload",
@@ -120,6 +128,32 @@ def load_workload(path: str) -> List[WorkloadItem]:
             "'queries' list"
         )
     return [item_from_json(raw, index) for index, raw in enumerate(payload)]
+
+
+def load_executor(path: str) -> Optional[str]:
+    """The workload file's top-level ``"executor"`` spec, if any.
+
+    Mirrors :func:`repro.serving.faults.load_faults`: the key rides in
+    the ``{"queries": [...]}`` object form and is validated against the
+    executor registry here, so a typo fails at load time rather than
+    serving the whole workload on the wrong (default) executor.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        return None
+    spec = payload.get("executor")
+    if spec is None:
+        return None
+    if not isinstance(spec, str):
+        raise ConfigError(
+            f"workload 'executor' must be a spec string, got "
+            f"{type(spec).__name__}"
+        )
+    from repro.serving.executors import validate_executor_spec
+
+    validate_executor_spec(spec)
+    return spec
 
 
 def save_workload(path: str, items: Sequence[WorkloadItem]) -> None:

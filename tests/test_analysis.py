@@ -154,6 +154,57 @@ class TestAio203GetEventLoop:
         assert codes(lint_source(tmp_path, good, "repro/serving/x.py")) == []
 
 
+class TestAio204InlineDetect:
+    def test_flags_detect_batch_in_coroutine(self, tmp_path):
+        bad = (
+            "async def flush(self, videos, frames):\n"
+            "    return self.detector.detect_batch(videos, frames)\n"
+        )
+        assert codes(lint_source(tmp_path, bad, "repro/serving/x.py")) == ["AIO204"]
+
+    def test_flags_single_detect_in_coroutine(self, tmp_path):
+        bad = (
+            "async def step(detector, video, frame):\n"
+            "    return detector.detect(video, frame)\n"
+        )
+        assert codes(lint_source(tmp_path, bad, "repro/serving/x.py")) == ["AIO204"]
+
+    def test_executor_submit_passes(self, tmp_path):
+        good = (
+            "import asyncio\n\n"
+            "async def flush(self, videos, frames):\n"
+            "    loop = asyncio.get_running_loop()\n"
+            "    fut = self.executor.submit(\n"
+            "        self.detector, videos, frames, None, loop\n"
+            "    )\n"
+            "    return await fut\n"
+        )
+        assert codes(lint_source(tmp_path, good, "repro/serving/x.py")) == []
+
+    def test_batcher_detect_front_door_passes(self, tmp_path):
+        good = (
+            "async def handle(self, request, handle):\n"
+            "    return await self._batcher.detect(\n"
+            "        self.detector_name, request, handle\n"
+            "    )\n"
+        )
+        assert codes(lint_source(tmp_path, good, "repro/serving/x.py")) == []
+
+    def test_sync_helper_passes(self, tmp_path):
+        good = (
+            "def run(detector, videos, frames):\n"
+            "    return detector.detect_batch(videos, frames)\n"
+        )
+        assert codes(lint_source(tmp_path, good, "repro/serving/x.py")) == []
+
+    def test_outside_serving_passes(self, tmp_path):
+        ok = (
+            "async def probe(detector, video, frame):\n"
+            "    return detector.detect(video, frame)\n"
+        )
+        assert codes(lint_source(tmp_path, ok, "repro/query/x.py")) == []
+
+
 # ---------------------------------------------------------------------------
 # lifecycle rules
 # ---------------------------------------------------------------------------
